@@ -1,0 +1,29 @@
+// Shared helpers for the experiment-reproduction benches: banner, table
+// emission, and the standard trial counts (override with key=value args,
+// e.g. `trials=2000 csv=out.csv`).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+
+namespace vab::bench {
+
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& paper_claim) {
+  std::cout << "=== " << id << ": " << title << " ===\n";
+  std::cout << "paper: " << paper_claim << "\n\n";
+}
+
+inline void emit(const common::Table& table, const common::Config& cfg) {
+  std::cout << table.to_string() << "\n";
+  const std::string csv = cfg.get_string("csv", "");
+  if (!csv.empty()) {
+    table.write_csv(csv);
+    std::cout << "wrote " << csv << "\n";
+  }
+}
+
+}  // namespace vab::bench

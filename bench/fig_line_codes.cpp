@@ -1,0 +1,83 @@
+// Extension bench — uplink line-code study: FM0 vs Miller-2/4/8.
+//
+// Measures (a) the fraction of data energy within the carrier-residue
+// region near DC (lower = more robust to imperfect SIC) and (b) the noise
+// bandwidth cost. Quantifies why FM0 is the paper's operating point and
+// when Miller buys margin.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "phy/fm0.hpp"
+#include "phy/miller.hpp"
+
+namespace {
+
+using namespace vab;
+
+// Fraction of one-sided spectral energy below `frac` of the chip rate.
+double low_band_fraction(const rvec& levels, double frac_of_chip_rate) {
+  cvec x(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) x[i] = cplx{levels[i], 0.0};
+  const cvec spec = dsp::fft(x);
+  const std::size_t n = spec.size();
+  const auto edge = static_cast<std::size_t>(frac_of_chip_rate * static_cast<double>(n));
+  double low = 0.0, total = 0.0;
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    const double p = std::norm(spec[k]);
+    total += p;
+    if (k < edge) low += p;
+  }
+  return low / total;
+}
+
+rvec to_levels(const bitvec& chips) {
+  rvec lv(chips.size());
+  for (std::size_t i = 0; i < chips.size(); ++i) lv[i] = chips[i] ? 1.0 : -1.0;
+  return lv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vab;
+  const auto cfg = common::Config::from_args(argc, argv);
+  bench::banner("EXT-1", "Uplink line codes: FM0 vs Miller",
+                "FM0 pushes data off the carrier; Miller goes further at a bandwidth cost");
+
+  common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 21)));
+  const bitvec bits = rng.random_bits(2048);
+  const double bitrate = 500.0;
+
+  common::Table t({"code", "chips_per_bit", "occupied_bw_hz",
+                   "energy_within_50Hz_of_carrier_%", "rel_noise_bw_db"});
+  struct Entry {
+    const char* name;
+    bitvec chips;
+    double cpb;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"FM0", phy::fm0_encode(bits), 2.0});
+  for (unsigned m : {2u, 4u, 8u}) {
+    static char names[3][16];
+    std::snprintf(names[m / 4], sizeof(names[0]), "Miller-%u", m);
+    entries.push_back({names[m / 4], phy::miller_encode(bits, m),
+                       static_cast<double>(phy::miller_chips_per_bit(m))});
+  }
+
+  for (const auto& e : entries) {
+    const double chip_rate = e.cpb * bitrate;
+    // 50 Hz residue region as a fraction of the chip-sequence sample rate.
+    const double frac = 50.0 / chip_rate;
+    t.add_row({e.name, common::Table::num(e.cpb, 0),
+               common::Table::num(chip_rate, 0),
+               common::Table::num(100.0 * low_band_fraction(to_levels(e.chips), frac), 3),
+               common::Table::num(10.0 * std::log10(e.cpb / 2.0), 1)});
+  }
+  bench::emit(t, cfg);
+  std::cout << "reading: Miller concentrates energy at the subcarrier, buying immunity\n"
+               "to SIC residue near DC, at 10log10(M/1) dB more noise bandwidth.\n";
+  return 0;
+}

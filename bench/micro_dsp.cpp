@@ -1,0 +1,92 @@
+// DSP microbenchmarks (google-benchmark): throughput of the kernels that
+// dominate the reader's real-time budget.
+#include <benchmark/benchmark.h>
+
+#include "channel/noise.hpp"
+#include "common/rng.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/mixer.hpp"
+#include "phy/modem.hpp"
+
+namespace {
+
+using namespace vab;
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_gaussian();
+  for (auto _ : state) {
+    cvec y = x;
+    dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(8192)->Arg(65536);
+
+void BM_FirFilterComplex(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(2);
+  dsp::FirFilter f(dsp::design_lowpass(2500.0, 96000.0, taps));
+  cvec x(8192);
+  for (auto& v : x) v = rng.complex_gaussian();
+  for (auto _ : state) {
+    cvec y = f.process(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_FirFilterComplex)->Arg(63)->Arg(127)->Arg(255);
+
+void BM_Downconvert(benchmark::State& state) {
+  const rvec x = dsp::make_tone(18500.0, 96000.0, 65536);
+  for (auto _ : state) {
+    cvec y = dsp::downconvert(x, 18500.0, 96000.0);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_Downconvert);
+
+void BM_NoiseSynthesis(benchmark::State& state) {
+  common::Rng rng(3);
+  const channel::NoiseConditions cond{};
+  for (auto _ : state) {
+    rvec y = channel::synthesize_ambient_noise(65536, 96000.0, cond, rng);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_NoiseSynthesis);
+
+void BM_FullDemodulate(benchmark::State& state) {
+  phy::PhyConfig cfg;
+  cfg.fs_hz = 96000.0;
+  common::Rng rng(4);
+  const bitvec payload = rng.random_bits(64);
+  phy::BackscatterModulator mod(cfg);
+  const bitvec states = mod.switch_waveform(payload);
+  const bitvec mask = mod.active_mask(payload.size());
+  rvec x = dsp::make_tone(cfg.carrier_hz, cfg.fs_hz, states.size() + 1024);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double coef = 1.0;
+    if (i < states.size() && mask[i]) coef += 0.01 * (states[i] ? 1.0 : -1.0);
+    x[i] *= coef;
+  }
+  phy::ReaderDemodulator demod(cfg);
+  for (auto _ : state) {
+    auto res = demod.demodulate(x, payload.size());
+    benchmark::DoNotOptimize(&res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_FullDemodulate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Seawater / freshwater acoustic absorption models.
+//
+// Thorp (1967) is the classic deep-water fit used in link budgets around
+// 10-100 kHz; Francois & Garrison (1982) is the full model with boric acid,
+// magnesium sulfate and viscous terms, parameterized by temperature,
+// salinity, depth and pH. River profiles use low salinity, which suppresses
+// the chemical relaxation terms.
+#pragma once
+
+namespace vab::channel {
+
+/// Thorp absorption coefficient in dB/km; `f_khz` in kHz.
+double thorp_absorption_db_per_km(double f_khz);
+
+struct WaterProperties {
+  double temperature_c = 10.0;  ///< Celsius
+  double salinity_ppt = 35.0;   ///< parts per thousand (rivers ~0.5)
+  double depth_m = 10.0;        ///< mean path depth
+  double ph = 8.0;
+};
+
+/// Francois-Garrison absorption in dB/km at `f_khz` kHz.
+double francois_garrison_db_per_km(double f_khz, const WaterProperties& w);
+
+/// Absorption loss in dB over `range_m` meters at `f_hz` Hz using Thorp.
+double absorption_loss_db(double f_hz, double range_m);
+
+/// Absorption loss in dB using Francois-Garrison.
+double absorption_loss_db(double f_hz, double range_m, const WaterProperties& w);
+
+}  // namespace vab::channel

@@ -1,0 +1,88 @@
+#include "channel/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+
+namespace vab::channel {
+
+namespace {
+// Power-sum of dB quantities.
+double db_sum(double a_db, double b_db) {
+  return 10.0 * std::log10(std::pow(10.0, a_db / 10.0) + std::pow(10.0, b_db / 10.0));
+}
+}  // namespace
+
+double turbulence_nsd_db(double f_hz) {
+  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
+  return 17.0 - 30.0 * std::log10(f_khz);
+}
+
+double shipping_nsd_db(double f_hz, double s) {
+  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
+  return 40.0 + 20.0 * (s - 0.5) + 26.0 * std::log10(f_khz) -
+         60.0 * std::log10(f_khz + 0.03);
+}
+
+double wind_nsd_db(double f_hz, double w) {
+  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
+  return 50.0 + 7.5 * std::sqrt(std::max(w, 0.0)) + 20.0 * std::log10(f_khz) -
+         40.0 * std::log10(f_khz + 0.4);
+}
+
+double thermal_nsd_db(double f_hz) {
+  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
+  return -15.0 + 20.0 * std::log10(f_khz);
+}
+
+double ambient_nsd_db(double f_hz, const NoiseConditions& cond) {
+  double total = turbulence_nsd_db(f_hz);
+  total = db_sum(total, shipping_nsd_db(f_hz, cond.shipping));
+  total = db_sum(total, wind_nsd_db(f_hz, cond.wind_speed_mps));
+  total = db_sum(total, thermal_nsd_db(f_hz));
+  total = db_sum(total, cond.site_floor_db);
+  return total;
+}
+
+double noise_level_db(double f_hz, double bw_hz, const NoiseConditions& cond) {
+  if (bw_hz <= 0.0) throw std::invalid_argument("bandwidth must be > 0");
+  return ambient_nsd_db(f_hz, cond) + 10.0 * std::log10(bw_hz);
+}
+
+rvec synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
+                              common::Rng& rng) {
+  if (n == 0) return {};
+  if (fs_hz <= 0.0) throw std::invalid_argument("sample rate must be > 0");
+
+  const std::size_t nfft = dsp::next_pow2(std::max<std::size_t>(n, 2));
+  cvec spec(nfft, cplx{});
+  const double df = fs_hz / static_cast<double>(nfft);
+
+  // Hermitian spectrum with per-bin amplitude from the Wenz NSD.
+  // PSD [Pa^2/Hz] -> per-bin variance = PSD * df; split across +/- bins.
+  for (std::size_t k = 1; k < nfft / 2; ++k) {
+    const double f = static_cast<double>(k) * df;
+    // NSD in dB re 1 uPa^2/Hz -> Pa^2/Hz.
+    const double psd_pa2 = std::pow(10.0, ambient_nsd_db(f, cond) / 10.0) *
+                           common::kRefPressurePa * common::kRefPressurePa;
+    const double sigma = std::sqrt(psd_pa2 * df / 2.0);
+    const cplx g = rng.complex_gaussian(1.0);
+    spec[k] = sigma * g;
+    spec[nfft - k] = std::conj(spec[k]);
+  }
+  // DC and Nyquist real-valued; negligible energy, keep zero.
+
+  // The inverse FFT of this Hermitian spectrum, scaled by nfft/ sqrt?? —
+  // with ifft normalization 1/N, variance per sample is sum_k |S_k|^2 / N^2;
+  // compensate to land at sum_k PSD*df = total band power.
+  cvec time = dsp::ifft(spec);
+  rvec out(n);
+  const double scale = static_cast<double>(nfft);
+  for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real() * scale;
+  return out;
+}
+
+}  // namespace vab::channel

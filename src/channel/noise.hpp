@@ -1,0 +1,44 @@
+// Ambient ocean noise: Wenz-model spectral density and time-domain
+// synthesis of noise with that spectrum.
+//
+// Four classical components (Wenz 1962, as parameterized in Stojanovic
+// 2007): turbulence (< 10 Hz), distant shipping (10-100 Hz), wind-driven
+// surface agitation (100 Hz - 100 kHz, dominant at our 18.5 kHz carrier),
+// and thermal noise (> 100 kHz). Levels in dB re 1 uPa^2/Hz.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vab::channel {
+
+struct NoiseConditions {
+  double shipping = 0.5;        ///< shipping activity factor in [0, 1]
+  double wind_speed_mps = 5.0;  ///< wind speed at the surface, m/s
+  /// Extra site noise floor on top of Wenz (e.g. river/harbor machinery),
+  /// dB re 1 uPa^2/Hz; combined by power addition.
+  double site_floor_db = -1000.0;
+};
+
+/// Wenz noise spectral density components at `f_hz` (dB re 1 uPa^2/Hz).
+double turbulence_nsd_db(double f_hz);
+double shipping_nsd_db(double f_hz, double shipping_factor);
+double wind_nsd_db(double f_hz, double wind_speed_mps);
+double thermal_nsd_db(double f_hz);
+
+/// Total Wenz noise spectral density (power sum of components + site floor).
+double ambient_nsd_db(double f_hz, const NoiseConditions& cond);
+
+/// Noise level in dB re 1 uPa over bandwidth `bw_hz` centered at `f_hz`
+/// (NSD assumed flat over the band — true for our narrow signals).
+double noise_level_db(double f_hz, double bw_hz, const NoiseConditions& cond);
+
+/// Synthesizes `n` samples of real ambient noise (pressure in Pa) at sample
+/// rate `fs_hz` whose PSD follows the Wenz model: white Gaussian noise
+/// shaped in the frequency domain.
+rvec synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
+                              common::Rng& rng);
+
+}  // namespace vab::channel

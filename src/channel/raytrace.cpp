@@ -1,0 +1,126 @@
+#include "channel/raytrace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace vab::channel {
+
+namespace {
+
+struct RayState {
+  double x = 0.0;
+  double z = 0.0;
+  double theta = 0.0;  // from horizontal, positive down
+  double time_s = 0.0;
+  double path_m = 0.0;
+  int surf = 0;
+  int bot = 0;
+  bool dead = false;
+};
+
+}  // namespace
+
+std::vector<RayArrival> trace_eigenrays(double range_m, double src_depth_m,
+                                        double rx_depth_m,
+                                        const SoundSpeedProfile& profile,
+                                        const RayTraceConfig& cfg) {
+  if (range_m <= 0.0) throw std::invalid_argument("range must be > 0");
+  const double H = cfg.water_depth_m;
+  if (H <= 0.0 || src_depth_m < 0.0 || src_depth_m > H || rx_depth_m < 0.0 ||
+      rx_depth_m > H)
+    throw std::invalid_argument("geometry outside the water column");
+  if (cfg.n_rays < 2) throw std::invalid_argument("need at least two rays");
+
+  // Keep the best (closest-depth) capture per bounce combination.
+  struct Best {
+    RayArrival arrival;
+    double miss = 1e9;
+  };
+  std::map<std::pair<int, int>, Best> best;
+
+  const double max_launch = common::deg_to_rad(cfg.max_launch_deg);
+  for (std::size_t r = 0; r < cfg.n_rays; ++r) {
+    const double launch =
+        -max_launch + 2.0 * max_launch * static_cast<double>(r) /
+                          static_cast<double>(cfg.n_rays - 1);
+    RayState s;
+    s.z = src_depth_m;
+    s.theta = launch;
+
+    while (!s.dead && s.x < range_m) {
+      const double c_here = profile.at(s.z);
+      const double ds = cfg.step_m;
+      // Ray curvature in a stratified medium: d(theta)/ds =
+      // -(1/c) dc/dz cos(theta). Direct integration handles horizontal rays
+      // and turning points uniformly (the Snell invariant degenerates at
+      // theta = 0).
+      const double dz_probe = 0.01;
+      const double dcdz = (profile.at(s.z + dz_probe) - profile.at(s.z - dz_probe)) /
+                          (2.0 * dz_probe);
+      s.theta += ds * (-dcdz / c_here) * std::cos(s.theta);
+
+      s.x += ds * std::cos(s.theta);
+      s.z += ds * std::sin(s.theta);
+      s.time_s += ds / c_here;
+      s.path_m += ds;
+
+      // Boundary reflections.
+      if (s.z < 0.0) {
+        s.z = -s.z;
+        s.theta = -s.theta;
+        ++s.surf;
+      } else if (s.z > H) {
+        s.z = 2.0 * H - s.z;
+        s.theta = -s.theta;
+        ++s.bot;
+      }
+      if (s.surf + s.bot > cfg.max_bounces) s.dead = true;
+      if (s.path_m > 20.0 * range_m) s.dead = true;  // runaway guard
+    }
+
+    if (s.dead) continue;
+    const double miss = std::abs(s.z - rx_depth_m);
+    if (miss > cfg.capture_tolerance_m) continue;
+
+    RayArrival a;
+    a.delay_s = s.time_s;
+    a.launch_angle_rad = launch;
+    a.arrival_angle_rad = s.theta;
+    a.surface_bounces = s.surf;
+    a.bottom_bounces = s.bot;
+    a.path_length_m = s.path_m;
+    double amp = 1.0 / std::max(s.path_m, 1.0);
+    amp *= std::pow(10.0, -(static_cast<double>(s.surf) * cfg.surface_loss_db +
+                            static_cast<double>(s.bot) * cfg.bottom_loss_db) /
+                              20.0);
+    if (cfg.absorption_freq_hz > 0.0)
+      amp *= std::pow(10.0,
+                      -absorption_loss_db(cfg.absorption_freq_hz, s.path_m, cfg.water) /
+                          20.0);
+    a.gain = (s.surf % 2 == 0 ? 1.0 : -1.0) * amp;
+
+    auto& slot = best[{s.surf, s.bot}];
+    if (miss < slot.miss) slot = Best{a, miss};
+  }
+
+  std::vector<RayArrival> out;
+  out.reserve(best.size());
+  for (const auto& [key, b] : best) out.push_back(b.arrival);
+  std::sort(out.begin(), out.end(),
+            [](const RayArrival& a, const RayArrival& b2) { return a.delay_s < b2.delay_s; });
+  return out;
+}
+
+std::vector<PathTap> taps_from_arrivals(const std::vector<RayArrival>& arrivals) {
+  std::vector<PathTap> taps;
+  taps.reserve(arrivals.size());
+  for (const auto& a : arrivals)
+    taps.push_back(PathTap{a.delay_s, a.gain, a.surface_bounces, a.bottom_bounces});
+  return taps;
+}
+
+}  // namespace vab::channel

@@ -1,0 +1,57 @@
+// 2-D acoustic ray tracing through a depth-dependent sound-speed profile.
+//
+// Complements the isovelocity image method: with a real SSP, rays refract
+// (Snell), form shadow zones and surface ducts, and the eigenrays found here
+// replace the straight-line image paths for deeper / longer deployments.
+// Piecewise-linear-in-depth profile, constant-gradient arc stepping, lossy
+// boundary reflections, amplitude from spreading + bounce losses +
+// absorption.
+#pragma once
+
+#include <vector>
+
+#include "channel/absorption.hpp"
+#include "channel/multipath.hpp"
+#include "channel/soundspeed.hpp"
+#include "common/types.hpp"
+
+namespace vab::channel {
+
+struct RayTraceConfig {
+  double water_depth_m = 20.0;
+  double surface_loss_db = 2.0;
+  double bottom_loss_db = 10.0;
+  int max_bounces = 4;
+  /// Launch fan (degrees from horizontal, positive = down) and count.
+  double max_launch_deg = 30.0;
+  std::size_t n_rays = 201;
+  /// Integration step along range (m).
+  double step_m = 1.0;
+  /// A ray is an eigenray if it passes within this depth tolerance of the
+  /// receiver at the target range.
+  double capture_tolerance_m = 0.5;
+  double absorption_freq_hz = 0.0;
+  WaterProperties water{};
+};
+
+struct RayArrival {
+  double delay_s = 0.0;
+  double launch_angle_rad = 0.0;
+  double arrival_angle_rad = 0.0;
+  double gain = 0.0;  ///< signed linear amplitude (surface flips sign)
+  int surface_bounces = 0;
+  int bottom_bounces = 0;
+  double path_length_m = 0.0;
+};
+
+/// Traces a fan of rays from (0, src_depth) toward positive range and
+/// collects those passing near (range, rx_depth).
+std::vector<RayArrival> trace_eigenrays(double range_m, double src_depth_m,
+                                        double rx_depth_m,
+                                        const SoundSpeedProfile& profile,
+                                        const RayTraceConfig& cfg);
+
+/// Converts arrivals into channel taps usable by WaveformChannel.
+std::vector<PathTap> taps_from_arrivals(const std::vector<RayArrival>& arrivals);
+
+}  // namespace vab::channel

@@ -1,0 +1,47 @@
+#include "channel/soundspeed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vab::channel {
+
+double mackenzie_sound_speed(double T, double S, double D) {
+  return 1448.96 + 4.591 * T - 5.304e-2 * T * T + 2.374e-4 * T * T * T +
+         1.340 * (S - 35.0) + 1.630e-2 * D + 1.675e-7 * D * D -
+         1.025e-2 * T * (S - 35.0) - 7.139e-13 * T * D * D * D;
+}
+
+double freshwater_sound_speed(double T) {
+  // Marczak (1997), 0-95 C, atmospheric pressure.
+  return 1.402385e3 + 5.038813 * T - 5.799136e-2 * T * T + 3.287156e-4 * T * T * T -
+         1.398845e-6 * T * T * T * T + 2.787860e-9 * T * T * T * T * T;
+}
+
+double sound_speed(const WaterProperties& w) {
+  if (w.salinity_ppt < 5.0) return freshwater_sound_speed(w.temperature_c);
+  return mackenzie_sound_speed(w.temperature_c, w.salinity_ppt, w.depth_m);
+}
+
+SoundSpeedProfile::SoundSpeedProfile(double c) : depths_{0.0}, speeds_{c} {
+  if (c <= 0.0) throw std::invalid_argument("sound speed must be > 0");
+}
+
+SoundSpeedProfile::SoundSpeedProfile(rvec depths_m, rvec speeds_mps)
+    : depths_(std::move(depths_m)), speeds_(std::move(speeds_mps)) {
+  if (depths_.empty() || depths_.size() != speeds_.size())
+    throw std::invalid_argument("profile needs matching non-empty depth/speed arrays");
+  for (std::size_t i = 1; i < depths_.size(); ++i)
+    if (depths_[i] <= depths_[i - 1])
+      throw std::invalid_argument("profile depths must be strictly ascending");
+}
+
+double SoundSpeedProfile::at(double depth_m) const {
+  if (depth_m <= depths_.front()) return speeds_.front();
+  if (depth_m >= depths_.back()) return speeds_.back();
+  std::size_t i = 1;
+  while (depths_[i] < depth_m) ++i;
+  const double frac = (depth_m - depths_[i - 1]) / (depths_[i] - depths_[i - 1]);
+  return speeds_[i - 1] + frac * (speeds_[i] - speeds_[i - 1]);
+}
+
+}  // namespace vab::channel

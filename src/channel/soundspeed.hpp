@@ -1,0 +1,38 @@
+// Sound speed in water.
+//
+// Mackenzie (1981) nine-term equation, valid for T in [-2, 30] C, S in
+// [25, 40] ppt, depth to 8000 m. For rivers (S ~ 0) we fall back to the
+// freshwater Marczak polynomial.
+#pragma once
+
+#include "channel/absorption.hpp"
+#include "common/types.hpp"
+
+namespace vab::channel {
+
+/// Mackenzie sound speed (m/s).
+double mackenzie_sound_speed(double temperature_c, double salinity_ppt, double depth_m);
+
+/// Freshwater sound speed (Marczak 1997 polynomial), m/s.
+double freshwater_sound_speed(double temperature_c);
+
+/// Sound speed for given water properties, choosing the appropriate model.
+double sound_speed(const WaterProperties& w);
+
+/// Depth-dependent sound-speed profile, piecewise linear between samples.
+class SoundSpeedProfile {
+ public:
+  /// Constant profile.
+  explicit SoundSpeedProfile(double c = 1500.0);
+  /// Piecewise-linear profile from (depth, speed) pairs, depths ascending.
+  SoundSpeedProfile(rvec depths_m, rvec speeds_mps);
+
+  double at(double depth_m) const;
+  double surface_speed() const { return at(0.0); }
+
+ private:
+  rvec depths_;
+  rvec speeds_;
+};
+
+}  // namespace vab::channel

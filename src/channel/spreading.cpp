@@ -1,0 +1,27 @@
+#include "channel/spreading.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vab::channel {
+
+double spreading_loss_db(SpreadingModel model, double range_m) {
+  const double r = std::max(range_m, 1.0);
+  switch (model) {
+    case SpreadingModel::kSpherical: return 20.0 * std::log10(r);
+    case SpreadingModel::kCylindrical: return 10.0 * std::log10(r);
+    case SpreadingModel::kPractical: return 15.0 * std::log10(r);
+  }
+  return 20.0 * std::log10(r);
+}
+
+double transmission_loss_db(double f_hz, double range_m, SpreadingModel model) {
+  return spreading_loss_db(model, range_m) + absorption_loss_db(f_hz, range_m);
+}
+
+double transmission_loss_db(double f_hz, double range_m, SpreadingModel model,
+                            const WaterProperties& w) {
+  return spreading_loss_db(model, range_m) + absorption_loss_db(f_hz, range_m, w);
+}
+
+}  // namespace vab::channel

@@ -1,0 +1,26 @@
+// Geometric spreading and combined one-way transmission loss.
+#pragma once
+
+#include "channel/absorption.hpp"
+
+namespace vab::channel {
+
+enum class SpreadingModel {
+  kSpherical,    ///< 20 log r — deep water
+  kCylindrical,  ///< 10 log r — ideal waveguide far field
+  kPractical     ///< 15 log r — shallow-water rule of thumb
+};
+
+/// Spreading loss in dB at `range_m` (>= 1 m; clamped below that since TL is
+/// referenced to 1 m).
+double spreading_loss_db(SpreadingModel model, double range_m);
+
+/// One-way transmission loss (dB) = spreading + absorption (Thorp).
+double transmission_loss_db(double f_hz, double range_m,
+                            SpreadingModel model = SpreadingModel::kPractical);
+
+/// One-way transmission loss with explicit water properties (F&G absorption).
+double transmission_loss_db(double f_hz, double range_m, SpreadingModel model,
+                            const WaterProperties& w);
+
+}  // namespace vab::channel

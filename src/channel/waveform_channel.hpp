@@ -1,0 +1,60 @@
+// Time-domain propagation: applies a tap set (delays + gains) to a passband
+// waveform, optionally with Doppler (platform drift) and slow fading, and
+// adds Wenz ambient noise. This is the substrate the end-to-end waveform
+// simulator runs on.
+#pragma once
+
+#include <vector>
+
+#include "channel/multipath.hpp"
+#include "channel/noise.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vab::channel {
+
+struct WaveformChannelConfig {
+  double fs_hz = 192000.0;
+  std::vector<PathTap> taps;          ///< from image_method_taps or custom
+  NoiseConditions noise{};
+  bool add_noise = true;
+  /// Relative radial speed (m/s) between endpoints; positive = closing.
+  double doppler_speed_mps = 0.0;
+  double sound_speed_mps = 1500.0;
+  /// Std-dev of slow per-tap log-amplitude fading in dB (0 = static channel).
+  double fading_sigma_db = 0.0;
+  /// Sea-surface wave motion: surface-bounce path lengths breathe by
+  /// ~2*amplitude per bounce at the swell period, phase-modulating those
+  /// taps (the time-varying channel that stresses the equalizer).
+  double surface_wave_amplitude_m = 0.0;
+  double surface_wave_period_s = 5.0;
+};
+
+class WaveformChannel {
+ public:
+  WaveformChannel(WaveformChannelConfig cfg, common::Rng& rng);
+
+  /// Propagates a pressure waveform (Pa, at 1 m from the source) through the
+  /// channel; the output is the pressure at the receiver, same sample rate,
+  /// extended by the maximum path delay.
+  rvec propagate(const rvec& tx) const;
+
+  /// Propagates without noise (used by calibration tests).
+  rvec propagate_clean(const rvec& tx) const;
+
+  const std::vector<PathTap>& taps() const { return cfg_.taps; }
+  double max_delay_s() const;
+
+ private:
+  rvec apply_taps(const rvec& tx) const;
+
+  WaveformChannelConfig cfg_;
+  common::Rng* rng_;
+  std::vector<double> fade_;  ///< per-tap linear fading factors for this run
+};
+
+/// Convenience: builds a single-tap line-of-sight channel with given one-way
+/// amplitude gain and delay.
+std::vector<PathTap> single_tap(double gain, double delay_s);
+
+}  // namespace vab::channel

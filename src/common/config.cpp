@@ -1,0 +1,96 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace vab::common {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("expected key=value, got '" + tok + "'");
+    cfg.set(trim(tok.substr(0, eq)), trim(tok.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("config line missing '=': " + line);
+    cfg.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  if (key.empty()) throw std::invalid_argument("empty config key");
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "' is not a number: " + it->second);
+  }
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "' is not an integer: " + it->second);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("config key '" + key + "' is not a boolean: " + it->second);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace vab::common

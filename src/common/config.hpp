@@ -1,0 +1,39 @@
+// Tiny key=value configuration store with typed getters.
+//
+// Examples accept `key=value` command-line overrides (e.g. `range_m=150
+// bitrate=500`) so scenarios can be explored without recompiling.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vab::common {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key=value` tokens; tokens without '=' raise.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses an ini-like string: one `key=value` per line, '#' comments.
+  static Config from_string(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace vab::common

@@ -1,0 +1,69 @@
+#include "common/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vab::common {
+
+cvec solve_linear(CMatrix a, cvec b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_linear needs square system");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double m = std::abs(a.at(r, col));
+      if (m > best) {
+        best = m;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw std::runtime_error("singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const cplx f = a.at(r, col) / a.at(col, col);
+      if (f == cplx{}) continue;
+      for (std::size_t c = col; c < n; ++c) a.at(r, c) -= f * a.at(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  cvec x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    cplx acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+cvec solve_least_squares(const CMatrix& a, const cvec& b, double lambda) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("rhs size mismatch");
+
+  CMatrix ata(n, n);
+  cvec atb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cplx acc{};
+      for (std::size_t r = 0; r < m; ++r) acc += std::conj(a.at(r, i)) * a.at(r, j);
+      ata.at(i, j) = acc;
+    }
+    cplx acc{};
+    for (std::size_t r = 0; r < m; ++r) acc += std::conj(a.at(r, i)) * b[r];
+    atb[i] = acc;
+  }
+  if (lambda > 0.0)
+    for (std::size_t i = 0; i < n; ++i) ata.at(i, i) += lambda;
+  return solve_linear(std::move(ata), std::move(atb));
+}
+
+}  // namespace vab::common

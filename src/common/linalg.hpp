@@ -1,0 +1,35 @@
+// Small dense complex linear algebra: just enough to solve the least-squares
+// problems of the PHY equalizer (channel fit, zero-forcing tap design).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vab::common {
+
+/// Dense row-major complex matrix.
+class CMatrix {
+ public:
+  CMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  cplx& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_, cols_;
+  cvec data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+/// square and nonsingular (throws std::runtime_error otherwise).
+cvec solve_linear(CMatrix a, cvec b);
+
+/// Least squares: minimizes ||A x - b||_2 via the normal equations
+/// (A^H A + lambda I) x = A^H b. `lambda` regularizes near-singular fits.
+cvec solve_least_squares(const CMatrix& a, const cvec& b, double lambda = 0.0);
+
+}  // namespace vab::common

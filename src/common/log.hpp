@@ -1,0 +1,37 @@
+// Minimal leveled logger. Global level, thread-safe enough for our
+// single-threaded simulator; writes to stderr so bench tables on stdout stay
+// machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vab::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_emit(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) { log(LogLevel::kDebug, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_info(Args&&... args) { log(LogLevel::kInfo, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_warn(Args&&... args) { log(LogLevel::kWarn, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_error(Args&&... args) { log(LogLevel::kError, std::forward<Args>(args)...); }
+
+}  // namespace vab::common

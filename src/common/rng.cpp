@@ -1,0 +1,24 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace vab::common {
+
+cplx Rng::complex_gaussian(double variance) {
+  const double s = std::sqrt(variance / 2.0);
+  return {s * gaussian(), s * gaussian()};
+}
+
+rvec Rng::gaussian_vector(std::size_t n, double stddev) {
+  rvec out(n);
+  for (auto& x : out) x = stddev * gaussian();
+  return out;
+}
+
+bitvec Rng::random_bits(std::size_t n) {
+  bitvec out(n);
+  for (auto& b : out) b = coin() ? 1 : 0;
+  return out;
+}
+
+}  // namespace vab::common

@@ -1,0 +1,68 @@
+// Deterministic random number generation for reproducible Monte-Carlo runs.
+//
+// Every stochastic component in the library takes an explicit Rng& so that a
+// trial is fully determined by its seed. Benches derive per-trial seeds from
+// a master seed with `child()` to keep trials independent yet reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.hpp"
+
+namespace vab::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Derives an independent child generator; `stream` distinguishes children.
+  Rng child(std::uint64_t stream) const {
+    // SplitMix64 finalizer decorrelates the derived seed from the parent's.
+    std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal sample.
+  double gaussian() { return normal_(engine_); }
+
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// Circularly-symmetric complex Gaussian with E[|x|^2] = variance.
+  cplx complex_gaussian(double variance = 1.0);
+
+  /// Bernoulli with probability p of true.
+  bool coin(double p = 0.5) { return uniform() < p; }
+
+  /// Vector of standard normal samples.
+  rvec gaussian_vector(std::size_t n, double stddev = 1.0);
+
+  /// Vector of random bits.
+  bitvec random_bits(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace vab::common

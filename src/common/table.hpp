@@ -1,0 +1,44 @@
+// Console table and CSV emission for the benchmark harness.
+//
+// Every bench prints the rows/series of the paper artifact it regenerates as
+// an aligned console table, and optionally mirrors it to a CSV file so the
+// data can be re-plotted.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vab::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Scientific notation, for BER-style quantities.
+  static std::string sci(double v, int precision = 2);
+
+  /// Renders an aligned ASCII table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (no embedded quotes expected in our data).
+  std::string to_csv() const;
+
+  /// Writes the CSV form to `path`; throws on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vab::common

@@ -1,0 +1,18 @@
+// Shared vector/scalar typedefs for signal processing code.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace vab {
+
+using cplx = std::complex<double>;
+using cvec = std::vector<cplx>;
+using rvec = std::vector<double>;
+using bytes = std::vector<std::uint8_t>;
+using bitvec = std::vector<std::uint8_t>;  // one bit per element, value 0/1
+
+inline constexpr cplx kJ{0.0, 1.0};
+
+}  // namespace vab

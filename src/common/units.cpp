@@ -1,0 +1,11 @@
+#include "common/units.hpp"
+
+namespace vab::common {
+
+double wrap_angle(double rad) {
+  double w = std::fmod(rad + kPi, kTwoPi);
+  if (w <= 0.0) w += kTwoPi;
+  return w - kPi;
+}
+
+}  // namespace vab::common

@@ -1,0 +1,62 @@
+// Unit conversions and physical constants used across the VAB library.
+//
+// Underwater acoustics works in decibels referenced to 1 micropascal
+// (dB re 1 uPa for pressure level, dB re 1 uPa^2/Hz for spectral density).
+// All linear quantities in this library are SI: pascals, meters, seconds,
+// hertz, watts.
+#pragma once
+
+#include <cmath>
+#include <complex>
+
+namespace vab::common {
+
+/// Reference pressure for underwater sound levels, 1 micropascal in Pa.
+inline constexpr double kRefPressurePa = 1e-6;
+
+/// Nominal speed of sound in water (m/s); profiles refine this.
+inline constexpr double kNominalSoundSpeed = 1500.0;
+
+/// Characteristic acoustic impedance of seawater (rho * c), Pa*s/m.
+inline constexpr double kWaterAcousticImpedance = 1.5e6;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Power ratio to decibels. `ratio` must be > 0.
+inline double db_from_power_ratio(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Amplitude (field quantity) ratio to decibels.
+inline double db_from_amplitude_ratio(double ratio) { return 20.0 * std::log10(ratio); }
+
+/// Decibels to linear power ratio.
+inline double power_ratio_from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Decibels to linear amplitude ratio.
+inline double amplitude_ratio_from_db(double db) { return std::pow(10.0, db / 20.0); }
+
+/// RMS pressure (Pa) -> sound pressure level in dB re 1 uPa.
+inline double spl_from_pressure(double rms_pa) {
+  return db_from_amplitude_ratio(rms_pa / kRefPressurePa);
+}
+
+/// Sound pressure level in dB re 1 uPa -> RMS pressure (Pa).
+inline double pressure_from_spl(double spl_db) {
+  return kRefPressurePa * amplitude_ratio_from_db(spl_db);
+}
+
+/// Acoustic wavelength (m) at frequency `f_hz` for sound speed `c`.
+inline double wavelength(double f_hz, double c = kNominalSoundSpeed) { return c / f_hz; }
+
+/// Acoustic wavenumber (rad/m).
+inline double wavenumber(double f_hz, double c = kNominalSoundSpeed) {
+  return kTwoPi * f_hz / c;
+}
+
+inline double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+inline double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wraps an angle to (-pi, pi].
+double wrap_angle(double rad);
+
+}  // namespace vab::common

@@ -1,0 +1,56 @@
+#include "core/energy.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace vab::core {
+
+StorageCapacitor::StorageCapacitor(CapacitorConfig cfg) : cfg_(cfg) {
+  if (cfg_.capacitance_f <= 0.0) throw std::invalid_argument("capacitance must be > 0");
+  if (cfg_.brownout_voltage_v >= cfg_.max_voltage_v)
+    throw std::invalid_argument("brownout must be below max voltage");
+  if (cfg_.initial_voltage_v < 0.0 || cfg_.initial_voltage_v > cfg_.max_voltage_v)
+    throw std::invalid_argument("initial voltage out of range");
+  energy_j_ = energy_for_voltage(cfg_.initial_voltage_v);
+  browned_out_ = cfg_.initial_voltage_v < cfg_.brownout_voltage_v;
+}
+
+void StorageCapacitor::charge(double power_w, double dt_s) {
+  if (power_w < 0.0 || dt_s < 0.0) throw std::invalid_argument("negative charge");
+  energy_j_ = std::min(energy_j_ + power_w * dt_s, energy_for_voltage(cfg_.max_voltage_v));
+  if (voltage() >= cfg_.brownout_voltage_v) browned_out_ = false;
+}
+
+bool StorageCapacitor::draw(double power_w, double dt_s) {
+  if (power_w < 0.0 || dt_s < 0.0) throw std::invalid_argument("negative draw");
+  const double need = power_w * dt_s;
+  const double floor_e = energy_for_voltage(cfg_.brownout_voltage_v);
+  if (energy_j_ - need < floor_e) {
+    energy_j_ = floor_e;
+    browned_out_ = true;
+    return false;
+  }
+  energy_j_ -= need;
+  return true;
+}
+
+double StorageCapacitor::voltage() const {
+  return std::sqrt(2.0 * energy_j_ / cfg_.capacitance_f);
+}
+
+double StorageCapacitor::usable_energy_j() const {
+  const double floor_e = energy_for_voltage(cfg_.brownout_voltage_v);
+  return std::max(energy_j_ - floor_e, 0.0);
+}
+
+double endurance_s(const CapacitorConfig& cfg, double load_w, double harvest_w) {
+  if (load_w <= harvest_w) return std::numeric_limits<double>::infinity();
+  StorageCapacitor cap(cfg);
+  const double usable = 0.5 * cfg.capacitance_f *
+                        (cfg.max_voltage_v * cfg.max_voltage_v -
+                         cfg.brownout_voltage_v * cfg.brownout_voltage_v);
+  return usable / (load_w - harvest_w);
+}
+
+}  // namespace vab::core

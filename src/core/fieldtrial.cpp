@@ -1,0 +1,144 @@
+#include "core/fieldtrial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/waveform_channel.hpp"
+#include "common/units.hpp"
+#include "dsp/correlate.hpp"
+#include "dsp/iir.hpp"
+#include "dsp/mixer.hpp"
+#include "phy/wakeup.hpp"
+
+namespace vab::core {
+
+FieldTrial::FieldTrial(sim::Scenario scenario, common::Rng& rng)
+    : scenario_(std::move(scenario)), rng_(&rng) {}
+
+FieldTrialResult FieldTrial::run(VabReader& reader, VabNode& node) {
+  FieldTrialResult res;
+  const auto& phy = scenario_.phy;
+  const double fs = phy.fs_hz;
+  const double c = scenario_.env.sound_speed();
+  const double drive = reader.drive_amplitude_pa();
+
+  channel::WaveformChannelConfig fwd_cfg;
+  fwd_cfg.fs_hz = fs;
+  fwd_cfg.taps = sim::forward_taps(scenario_);
+  fwd_cfg.add_noise = false;
+  fwd_cfg.sound_speed_mps = c;
+  channel::WaveformChannel fwd(fwd_cfg, *rng_);
+
+  // ---- Downlink ----------------------------------------------------------
+  const net::Frame query = reader.mac().make_query(node.address());
+  rvec downlink = reader.make_downlink_waveform(query);
+  for (auto& v : downlink) v *= drive;
+  rvec at_node = fwd.propagate_clean(downlink);
+  {
+    const rvec noise =
+        channel::synthesize_ambient_noise(at_node.size(), fs, scenario_.env.noise, *rng_);
+    for (std::size_t i = 0; i < at_node.size(); ++i) at_node[i] += noise[i];
+  }
+  res.downlink_spl_at_node_db = common::spl_from_pressure(dsp::rms(at_node));
+
+  // Node front end: wake-up watch + passive envelope detector.
+  phy::WakeupConfig wcfg;
+  wcfg.carrier_hz = phy.carrier_hz;
+  wcfg.fs_hz = fs;
+  // Thresholds referenced to the expected carrier power at this range.
+  const double carrier_amp_est = dsp::rms(at_node);
+  wcfg.on_threshold = 0.05 * carrier_amp_est * carrier_amp_est;
+  wcfg.off_threshold = 0.01 * carrier_amp_est * carrier_amp_est;
+  phy::WakeupDetector wake(wcfg);
+  dsp::OnePole env_lp(200.0, fs);
+  rvec envelope(at_node.size());
+  for (std::size_t i = 0; i < at_node.size(); ++i) {
+    if (wake.push(at_node[i])) res.node_woke = true;
+    envelope[i] = env_lp.process(std::abs(at_node[i]));
+  }
+
+  const auto uplink = node.handle_downlink(envelope, fs);
+  if (!uplink) return res;
+  res.downlink_decoded = true;
+
+  // ---- Uplink -------------------------------------------------------------
+  const bitvec& states = uplink->switch_states;
+  phy::BackscatterModulator mod(phy);
+  const bitvec mask =
+      mod.active_mask(net::serialize_bits(uplink->frame).size());
+
+  channel::WaveformChannelConfig ret_cfg = fwd_cfg;
+  ret_cfg.taps = sim::return_taps(scenario_);
+  channel::WaveformChannel ret(ret_cfg, *rng_);
+  channel::WaveformChannelConfig blast_cfg = fwd_cfg;
+  blast_cfg.taps = sim::blast_taps(scenario_);
+  channel::WaveformChannel blast(blast_cfg, *rng_);
+
+  double max_fwd = 0.0, max_ret = 0.0;
+  for (const auto& t : fwd_cfg.taps) max_fwd = std::max(max_fwd, t.delay_s);
+  for (const auto& t : ret_cfg.taps) max_ret = std::max(max_ret, t.delay_s);
+  const std::size_t n_tx =
+      states.size() +
+      static_cast<std::size_t>(std::ceil((2.0 * max_fwd + max_ret) * fs)) + 64;
+
+  const rvec tx = dsp::make_tone(phy.carrier_hz, fs, n_tx, drive);
+  const rvec incident = fwd.propagate_clean(tx);
+
+  // Node reflection amplitudes from its array at this orientation.
+  const double theta = scenario_.node.orientation_rad;
+  const cplx r1 = node.array().bistatic_response(theta, theta, phy.carrier_hz, 1);
+  const cplx r0 = node.array().bistatic_response(theta, theta, phy.carrier_hz, 0);
+  const double ts0 = std::pow(10.0, sim::kElementTargetStrengthDb / 20.0);
+  const double mod_amp = ts0 * std::abs(r1 - r0) / 2.0;
+  const double static_amp = scenario_.node.static_reflection_rel * mod_amp;
+  const bool polarity =
+      node.config().array.scheme == vanatta::ModulationScheme::kPolarity;
+
+  double fwd_direct = max_fwd;
+  for (const auto& t : fwd_cfg.taps) fwd_direct = std::min(fwd_direct, t.delay_s);
+  const auto node_start = static_cast<std::size_t>(std::ceil(fwd_direct * fs));
+  rvec reflected(incident.size());
+  for (std::size_t n = 0; n < incident.size(); ++n) {
+    double coef = static_amp;
+    if (n >= node_start) {
+      const std::size_t k = n - node_start;
+      if (k < states.size() && k < mask.size() && mask[k]) {
+        const double level = polarity ? (states[k] ? 1.0 : -1.0)
+                                      : (states[k] ? 2.0 : 0.0);
+        coef += mod_amp * level;
+      }
+    }
+    reflected[n] = incident[n] * coef;
+  }
+
+  rvec rx = ret.propagate_clean(reflected);
+  const rvec blast_rx = blast.propagate_clean(tx);
+  if (blast_rx.size() > rx.size()) rx.resize(blast_rx.size(), 0.0);
+  for (std::size_t n = 0; n < blast_rx.size(); ++n) rx[n] += blast_rx[n];
+
+  const double sep = std::max(scenario_.reader.tx_rx_separation_m, 0.1);
+  const auto head = static_cast<std::size_t>(std::ceil(sep / c * fs)) + 256;
+  const std::size_t tail = std::min(rx.size(), n_tx);
+  if (head < tail)
+    rx = rvec(rx.begin() + static_cast<std::ptrdiff_t>(head),
+              rx.begin() + static_cast<std::ptrdiff_t>(tail));
+  {
+    const rvec noise =
+        channel::synthesize_ambient_noise(rx.size(), fs, scenario_.env.noise, *rng_);
+    for (std::size_t i = 0; i < rx.size(); ++i) rx[i] += noise[i];
+  }
+
+  const auto decode = reader.decode_uplink(rx, uplink->frame.payload.size());
+  res.uplink_synced = decode.demod.sync_found;
+  res.uplink_snr_db = decode.demod.snr_db;
+  if (decode.frame) {
+    res.frame_ok = true;
+    reader.mac().on_uplink(decode.frame->addr, true);
+    res.reading = net::decode_reading(decode.frame->payload);
+  } else if (decode.demod.sync_found) {
+    reader.mac().on_uplink(node.address(), false);
+  }
+  return res;
+}
+
+}  // namespace vab::core

@@ -1,0 +1,45 @@
+// FieldTrial — one complete inventory exchange at waveform level:
+//
+//   reader PIE downlink (carrier AM) ── forward multipath ──▶ node
+//   node: wake-up (Goertzel) ▸ envelope detector ▸ PIE decode ▸ MAC
+//   node FM0 backscatter reply ── return multipath ──▶ reader
+//   reader: SIC ▸ sync ▸ equalize ▸ decode ▸ frame CRC
+//
+// This is the closest the simulator gets to the paper's boat-and-node field
+// procedure, exercising both link directions through the same water.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "core/node.hpp"
+#include "core/reader.hpp"
+#include "sim/scenario.hpp"
+
+namespace vab::core {
+
+struct FieldTrialResult {
+  bool node_woke = false;          ///< wake-up detector fired on the carrier
+  bool downlink_decoded = false;   ///< node parsed the query
+  bool uplink_synced = false;
+  bool frame_ok = false;           ///< CRC-valid sensor report at the reader
+  std::optional<net::SensorReading> reading;
+  double downlink_spl_at_node_db = 0.0;
+  double uplink_snr_db = 0.0;
+};
+
+class FieldTrial {
+ public:
+  /// `scenario` supplies the water, geometry and PHY; reader and node are
+  /// the system under test.
+  FieldTrial(sim::Scenario scenario, common::Rng& rng);
+
+  /// Runs one query -> report exchange.
+  FieldTrialResult run(VabReader& reader, VabNode& node);
+
+ private:
+  sim::Scenario scenario_;
+  common::Rng* rng_;
+};
+
+}  // namespace vab::core

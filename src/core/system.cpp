@@ -1,0 +1,62 @@
+#include "core/system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/ber.hpp"
+#include "phy/pie.hpp"
+
+namespace vab::core {
+
+NetworkSimulator::NetworkSimulator(sim::Scenario scenario, std::vector<NetworkNode> nodes,
+                                   net::MacTiming timing)
+    : scenario_(std::move(scenario)), nodes_(std::move(nodes)), timing_(timing) {
+  if (nodes_.empty()) throw std::invalid_argument("network needs at least one node");
+}
+
+NetworkResult NetworkSimulator::run(std::size_t rounds, std::size_t payload_bytes,
+                                    common::Rng& rng) const {
+  NetworkResult res;
+  res.rounds = rounds;
+  res.per_node_delivery.assign(nodes_.size(), 0.0);
+
+  const std::size_t frame_bits = (4 + payload_bytes + 2) * 8;
+  net::MacTiming timing = timing_;
+  timing.slot_payload_bytes = static_cast<double>(payload_bytes);
+  timing.uplink_bitrate_bps = scenario_.phy.bitrate_bps;
+
+  // Round = downlink announcement + guard + one slot per node.
+  const double downlink_s = phy::pie_duration_s(frame_bits, phy::PieConfig{});
+  res.round_duration_s = downlink_s + timing.guard_s +
+                         static_cast<double>(nodes_.size()) * timing.slot_duration_s();
+
+  std::vector<std::size_t> delivered(nodes_.size(), 0);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      sim::Scenario s = scenario_;
+      s.range_m = nodes_[i].range_m;
+      s.node.orientation_rad = nodes_[i].orientation_rad;
+      const sim::LinkBudget budget(s);
+      const double fade = rng.gaussian(0.0, s.env.fading_sigma_db);
+      const double ber = budget.evaluate(nodes_[i].range_m, fade).ber;
+      const double per = phy::packet_error_rate(ber, frame_bits);
+      ++res.packets_attempted;
+      if (!rng.coin(per)) {
+        ++res.packets_delivered;
+        ++delivered[i];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    res.per_node_delivery[i] =
+        rounds ? static_cast<double>(delivered[i]) / static_cast<double>(rounds) : 0.0;
+
+  const double payload_bits = static_cast<double>(payload_bytes) * 8.0;
+  res.goodput_bps = res.round_duration_s > 0.0
+                        ? static_cast<double>(res.packets_delivered) * payload_bits /
+                              (static_cast<double>(rounds) * res.round_duration_s)
+                        : 0.0;
+  return res;
+}
+
+}  // namespace vab::core

@@ -1,0 +1,53 @@
+#include "dsp/agc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vab::dsp {
+
+namespace {
+double alpha_from_samples(double n) { return 1.0 - std::exp(-1.0 / std::max(n, 1.0)); }
+}  // namespace
+
+Agc::Agc(double target_rms, double attack_samples, double release_samples, double max_gain)
+    : target_(target_rms),
+      attack_alpha_(alpha_from_samples(attack_samples)),
+      release_alpha_(alpha_from_samples(release_samples)),
+      max_gain_(max_gain) {
+  if (target_rms <= 0.0) throw std::invalid_argument("AGC target must be > 0");
+}
+
+void Agc::update_envelope(double magnitude) {
+  const double alpha = magnitude > envelope_ ? attack_alpha_ : release_alpha_;
+  envelope_ += alpha * (magnitude - envelope_);
+  gain_ = envelope_ > 1e-30 ? std::min(target_ / envelope_, max_gain_) : max_gain_;
+}
+
+double Agc::process(double x) {
+  update_envelope(std::abs(x));
+  return gain_ * x;
+}
+
+cplx Agc::process(cplx x) {
+  update_envelope(std::abs(x));
+  return gain_ * x;
+}
+
+rvec Agc::process(const rvec& x) {
+  rvec y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+  return y;
+}
+
+cvec Agc::process(const cvec& x) {
+  cvec y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+  return y;
+}
+
+void Agc::reset() {
+  envelope_ = 0.0;
+  gain_ = 1.0;
+}
+
+}  // namespace vab::dsp

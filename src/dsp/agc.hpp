@@ -1,0 +1,36 @@
+// Automatic gain control with attack/release time constants; keeps the
+// demodulator's soft decisions in a fixed numeric range regardless of link
+// distance.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace vab::dsp {
+
+class Agc {
+ public:
+  /// `target_rms`: desired output RMS; attack/release in samples (time
+  /// constants of the envelope tracker).
+  Agc(double target_rms, double attack_samples, double release_samples,
+      double max_gain = 1e6);
+
+  double process(double x);
+  cplx process(cplx x);
+  rvec process(const rvec& x);
+  cvec process(const cvec& x);
+
+  double gain() const { return gain_; }
+  void reset();
+
+ private:
+  void update_envelope(double magnitude);
+
+  double target_;
+  double attack_alpha_;
+  double release_alpha_;
+  double max_gain_;
+  double envelope_ = 0.0;
+  double gain_ = 1.0;
+};
+
+}  // namespace vab::dsp

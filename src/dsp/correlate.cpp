@@ -1,0 +1,76 @@
+#include "dsp/correlate.hpp"
+
+#include <cmath>
+
+namespace vab::dsp {
+
+cvec sliding_correlate(const cvec& sig, const cvec& ref) {
+  if (sig.size() < ref.size() || ref.empty()) return {};
+  const std::size_t n_out = sig.size() - ref.size() + 1;
+  cvec out(n_out);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    cplx acc{};
+    for (std::size_t n = 0; n < ref.size(); ++n) acc += sig[k + n] * std::conj(ref[n]);
+    out[k] = acc;
+  }
+  return out;
+}
+
+rvec normalized_correlate(const cvec& sig, const cvec& ref) {
+  if (sig.size() < ref.size() || ref.empty()) return {};
+  const std::size_t n_out = sig.size() - ref.size() + 1;
+  const double ref_norm = std::sqrt(energy(ref));
+  if (ref_norm == 0.0) return rvec(n_out, 0.0);
+
+  // Running window energy for O(N) normalization.
+  rvec out(n_out);
+  double win_energy = 0.0;
+  for (std::size_t n = 0; n < ref.size(); ++n) win_energy += std::norm(sig[n]);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    cplx acc{};
+    for (std::size_t n = 0; n < ref.size(); ++n) acc += sig[k + n] * std::conj(ref[n]);
+    const double denom = std::sqrt(std::max(win_energy, 1e-30)) * ref_norm;
+    out[k] = std::abs(acc) / denom;
+    if (k + 1 < n_out) {
+      win_energy += std::norm(sig[k + ref.size()]) - std::norm(sig[k]);
+      win_energy = std::max(win_energy, 0.0);
+    }
+  }
+  return out;
+}
+
+std::optional<CorrelationPeak> find_peak(const cvec& sig, const cvec& ref,
+                                         double threshold) {
+  const rvec corr = normalized_correlate(sig, ref);
+  if (corr.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < corr.size(); ++k)
+    if (corr[k] > corr[best]) best = k;
+  if (corr[best] < threshold) return std::nullopt;
+
+  cplx raw{};
+  for (std::size_t n = 0; n < ref.size(); ++n) raw += sig[best + n] * std::conj(ref[n]);
+  return CorrelationPeak{best, corr[best], raw};
+}
+
+double energy(const cvec& x) {
+  double e = 0.0;
+  for (const auto& v : x) e += std::norm(v);
+  return e;
+}
+
+double energy(const rvec& x) {
+  double e = 0.0;
+  for (double v : x) e += v * v;
+  return e;
+}
+
+double rms(const rvec& x) {
+  return x.empty() ? 0.0 : std::sqrt(energy(x) / static_cast<double>(x.size()));
+}
+
+double rms(const cvec& x) {
+  return x.empty() ? 0.0 : std::sqrt(energy(x) / static_cast<double>(x.size()));
+}
+
+}  // namespace vab::dsp

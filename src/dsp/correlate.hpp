@@ -1,0 +1,39 @@
+// Correlation-based detection: sliding correlation, normalized matched
+// filtering and peak search, used for preamble detection and symbol sync.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace vab::dsp {
+
+/// Sliding dot product of `sig` against `ref` (valid region only):
+/// out[k] = sum_n sig[k+n] * conj(ref[n]), k in [0, sig.size()-ref.size()].
+cvec sliding_correlate(const cvec& sig, const cvec& ref);
+
+/// Normalized sliding correlation in [0, 1]: |dot| / (|sig_window| * |ref|).
+rvec normalized_correlate(const cvec& sig, const cvec& ref);
+
+struct CorrelationPeak {
+  std::size_t index = 0;   ///< start offset of the best alignment
+  double value = 0.0;      ///< normalized correlation at the peak
+  cplx raw{};              ///< complex correlation (carries phase)
+};
+
+/// Finds the best normalized-correlation alignment of `ref` within `sig`.
+/// Returns nullopt if `sig` is shorter than `ref` or the peak is below
+/// `threshold`.
+std::optional<CorrelationPeak> find_peak(const cvec& sig, const cvec& ref,
+                                         double threshold = 0.0);
+
+/// Energy of a signal (sum of |x|^2).
+double energy(const cvec& x);
+double energy(const rvec& x);
+
+/// RMS value.
+double rms(const rvec& x);
+double rms(const cvec& x);
+
+}  // namespace vab::dsp

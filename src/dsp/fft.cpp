@@ -1,0 +1,107 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace vab::dsp {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void transform(cvec& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Danielson–Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 1.0 : -1.0) * common::kTwoPi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& c : x) c *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(cvec& x) { transform(x, false); }
+void ifft_inplace(cvec& x) { transform(x, true); }
+
+cvec fft(const cvec& x) {
+  cvec y = x;
+  y.resize(next_pow2(std::max<std::size_t>(1, x.size())), cplx{0.0, 0.0});
+  fft_inplace(y);
+  return y;
+}
+
+cvec ifft(const cvec& x) {
+  cvec y = x;
+  ifft_inplace(y);
+  return y;
+}
+
+cvec fft_real(const rvec& x) {
+  cvec y(next_pow2(std::max<std::size_t>(1, x.size())), cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = cplx{x[i], 0.0};
+  fft_inplace(y);
+  return y;
+}
+
+rvec fft_convolve(const rvec& a, const rvec& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  cvec fa(n, cplx{}), fb(n, cplx{});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = cplx{a[i], 0.0};
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = cplx{b[i], 0.0};
+  fft_inplace(fa);
+  fft_inplace(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  ifft_inplace(fa);
+  rvec out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+cvec fft_xcorr(const cvec& a, const cvec& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_len);
+  cvec fa(n, cplx{}), fb(n, cplx{});
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  // Correlation = convolution with conjugated, time-reversed b.
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = std::conj(b[b.size() - 1 - i]);
+  fft_inplace(fa);
+  fft_inplace(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  ifft_inplace(fa);
+  return cvec(fa.begin(), fa.begin() + static_cast<std::ptrdiff_t>(out_len));
+}
+
+}  // namespace vab::dsp

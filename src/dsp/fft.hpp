@@ -1,0 +1,43 @@
+// Radix-2 FFT and FFT-based convolution.
+//
+// Self-contained (no external FFT dependency): iterative in-place
+// decimation-in-time with precomputed bit-reversal, O(n log n) for
+// power-of-two sizes. Non-power-of-two inputs are handled by the
+// convolution helpers via zero-padding.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace vab::dsp {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// In-place forward FFT; `x.size()` must be a power of two.
+void fft_inplace(cvec& x);
+
+/// In-place inverse FFT (includes 1/N normalization).
+void ifft_inplace(cvec& x);
+
+/// Out-of-place forward FFT, zero-padding to the next power of two.
+cvec fft(const cvec& x);
+
+/// Out-of-place inverse FFT; `x.size()` must be a power of two.
+cvec ifft(const cvec& x);
+
+/// FFT of a real signal (returns full complex spectrum, padded to pow2).
+cvec fft_real(const rvec& x);
+
+/// Linear convolution of two real signals via FFT; result length a+b-1.
+rvec fft_convolve(const rvec& a, const rvec& b);
+
+/// Linear cross-correlation r[k] = sum_n a[n+k] b*[n] for k in
+/// [-(b.size()-1), a.size()-1], returned with lag 0 at index b.size()-1.
+cvec fft_xcorr(const cvec& a, const cvec& b);
+
+}  // namespace vab::dsp

@@ -1,0 +1,115 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace vab::dsp {
+
+namespace {
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  return std::sin(common::kPi * x) / (common::kPi * x);
+}
+
+std::size_t force_odd(std::size_t taps) { return taps | 1u; }
+
+void validate(double f_hz, double fs_hz) {
+  if (fs_hz <= 0.0) throw std::invalid_argument("sample rate must be > 0");
+  if (f_hz <= 0.0 || f_hz >= fs_hz / 2.0)
+    throw std::invalid_argument("cutoff must be in (0, fs/2)");
+}
+
+}  // namespace
+
+rvec design_lowpass(double cutoff_hz, double fs_hz, std::size_t taps, WindowType window,
+                    double kaiser_beta) {
+  validate(cutoff_hz, fs_hz);
+  const std::size_t n = force_odd(taps);
+  const double fc = cutoff_hz / fs_hz;  // normalized cutoff (cycles/sample)
+  const rvec w = make_window(window, n, kaiser_beta);
+  rvec h(n);
+  const double mid = static_cast<double>(n - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    h[i] = 2.0 * fc * sinc(2.0 * fc * t) * w[i];
+    sum += h[i];
+  }
+  for (auto& c : h) c /= sum;  // unity DC gain
+  return h;
+}
+
+rvec design_highpass(double cutoff_hz, double fs_hz, std::size_t taps, WindowType window) {
+  rvec h = design_lowpass(cutoff_hz, fs_hz, taps, window);
+  // Spectral inversion: delta at center minus low-pass.
+  for (auto& c : h) c = -c;
+  h[h.size() / 2] += 1.0;
+  return h;
+}
+
+rvec design_bandpass(double lo_hz, double hi_hz, double fs_hz, std::size_t taps,
+                     WindowType window) {
+  if (lo_hz >= hi_hz) throw std::invalid_argument("bandpass needs lo < hi");
+  rvec lp_hi = design_lowpass(hi_hz, fs_hz, taps, window);
+  rvec lp_lo = design_lowpass(lo_hz, fs_hz, taps, window);
+  rvec h(lp_hi.size());
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] = lp_hi[i] - lp_lo[i];
+  return h;
+}
+
+rvec design_bandstop(double lo_hz, double hi_hz, double fs_hz, std::size_t taps,
+                     WindowType window) {
+  rvec bp = design_bandpass(lo_hz, hi_hz, fs_hz, taps, window);
+  for (auto& c : bp) c = -c;
+  bp[bp.size() / 2] += 1.0;
+  return bp;
+}
+
+FirFilter::FirFilter(rvec taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FIR needs at least one tap");
+  state_.assign(taps_.size(), cplx{});
+}
+
+double FirFilter::process(double x) { return process(cplx{x, 0.0}).real(); }
+
+cplx FirFilter::process(cplx x) {
+  state_[pos_] = x;
+  cplx acc{};
+  std::size_t idx = pos_;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    acc += taps_[k] * state_[idx];
+    idx = (idx == 0) ? state_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % state_.size();
+  return acc;
+}
+
+rvec FirFilter::process(const rvec& x) {
+  rvec y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+  return y;
+}
+
+cvec FirFilter::process(const cvec& x) {
+  cvec y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+  return y;
+}
+
+void FirFilter::reset() {
+  state_.assign(taps_.size(), cplx{});
+  pos_ = 0;
+}
+
+double fir_response_at(const rvec& taps, double f_hz, double fs_hz) {
+  const double w = common::kTwoPi * f_hz / fs_hz;
+  cplx acc{};
+  for (std::size_t n = 0; n < taps.size(); ++n)
+    acc += taps[n] * std::exp(cplx{0.0, -w * static_cast<double>(n)});
+  return std::abs(acc);
+}
+
+}  // namespace vab::dsp

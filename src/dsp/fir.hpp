@@ -1,0 +1,56 @@
+// Windowed-sinc FIR design and streaming FIR filtering.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "dsp/window.hpp"
+
+namespace vab::dsp {
+
+/// Designs a linear-phase low-pass FIR with cutoff `cutoff_hz` at sample
+/// rate `fs_hz` using the window method. `taps` is forced odd.
+rvec design_lowpass(double cutoff_hz, double fs_hz, std::size_t taps,
+                    WindowType window = WindowType::kHamming,
+                    double kaiser_beta = 8.6);
+
+/// High-pass via spectral inversion of the low-pass prototype.
+rvec design_highpass(double cutoff_hz, double fs_hz, std::size_t taps,
+                     WindowType window = WindowType::kHamming);
+
+/// Band-pass between `lo_hz` and `hi_hz`.
+rvec design_bandpass(double lo_hz, double hi_hz, double fs_hz, std::size_t taps,
+                     WindowType window = WindowType::kHamming);
+
+/// Band-stop (notch) between `lo_hz` and `hi_hz`.
+rvec design_bandstop(double lo_hz, double hi_hz, double fs_hz, std::size_t taps,
+                     WindowType window = WindowType::kHamming);
+
+/// Streaming FIR filter over real or complex samples. Keeps state across
+/// calls so long signals can be processed in chunks.
+class FirFilter {
+ public:
+  explicit FirFilter(rvec taps);
+
+  double process(double x);
+  cplx process(cplx x);
+
+  rvec process(const rvec& x);
+  cvec process(const cvec& x);
+
+  /// Group delay of a linear-phase filter in samples.
+  double group_delay() const { return (static_cast<double>(taps_.size()) - 1.0) / 2.0; }
+
+  void reset();
+  const rvec& taps() const { return taps_; }
+
+ private:
+  rvec taps_;
+  cvec state_;       // circular delay line (complex covers both cases)
+  std::size_t pos_ = 0;
+};
+
+/// Frequency response magnitude of an FIR at `f_hz` (fs `fs_hz`).
+double fir_response_at(const rvec& taps, double f_hz, double fs_hz);
+
+}  // namespace vab::dsp

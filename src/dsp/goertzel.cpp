@@ -1,0 +1,58 @@
+#include "dsp/goertzel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace vab::dsp {
+
+namespace {
+template <typename Vec>
+cplx goertzel_impl(const Vec& x, double f_hz, double fs_hz) {
+  if (x.empty()) return {};
+  if (fs_hz <= 0.0) throw std::invalid_argument("sample rate must be > 0");
+  const double w = common::kTwoPi * f_hz / fs_hz;
+  const cplx e = std::exp(cplx{0.0, -w});
+  // Direct DFT accumulation at one bin keeps the complex case simple; the
+  // streaming detector below uses the classic two-multiplier recurrence.
+  cplx acc{};
+  cplx ph{1.0, 0.0};
+  for (const auto& v : x) {
+    acc += cplx(v) * ph;
+    ph *= e;
+  }
+  return acc / static_cast<double>(x.size());
+}
+}  // namespace
+
+cplx goertzel(const rvec& x, double f_hz, double fs_hz) {
+  return goertzel_impl(x, f_hz, fs_hz);
+}
+cplx goertzel(const cvec& x, double f_hz, double fs_hz) {
+  return goertzel_impl(x, f_hz, fs_hz);
+}
+
+double goertzel_power(const rvec& x, double f_hz, double fs_hz) {
+  return std::norm(goertzel(x, f_hz, fs_hz));
+}
+
+GoertzelDetector::GoertzelDetector(double f_hz, double fs_hz, std::size_t block)
+    : omega_(common::kTwoPi * f_hz / fs_hz), block_(block) {
+  if (block == 0) throw std::invalid_argument("block size must be >= 1");
+  coeff_ = 2.0 * std::cos(omega_);
+}
+
+bool GoertzelDetector::push(double x, double& power_out) {
+  const double s0 = x + coeff_ * s1_ - s2_;
+  s2_ = s1_;
+  s1_ = s0;
+  if (++count_ < block_) return false;
+  power_out = (s1_ * s1_ + s2_ * s2_ - coeff_ * s1_ * s2_) /
+              (static_cast<double>(block_) * static_cast<double>(block_));
+  count_ = 0;
+  s1_ = s2_ = 0.0;
+  return true;
+}
+
+}  // namespace vab::dsp

@@ -1,0 +1,37 @@
+// Goertzel single-bin DFT: cheap tone power estimation, used by the node's
+// downlink detector (a node cannot afford an FFT) and by benches to measure
+// carrier suppression.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace vab::dsp {
+
+/// Complex DFT coefficient of `x` at frequency `f_hz` (sample rate `fs_hz`),
+/// normalized by the window length.
+cplx goertzel(const rvec& x, double f_hz, double fs_hz);
+cplx goertzel(const cvec& x, double f_hz, double fs_hz);
+
+/// Power (|X|^2) of the Goertzel bin.
+double goertzel_power(const rvec& x, double f_hz, double fs_hz);
+
+/// Streaming Goertzel over fixed-size blocks.
+class GoertzelDetector {
+ public:
+  GoertzelDetector(double f_hz, double fs_hz, std::size_t block);
+
+  /// Feeds one sample; returns the block power when a block completes.
+  bool push(double x, double& power_out);
+  std::size_t block_size() const { return block_; }
+
+ private:
+  double coeff_;
+  double omega_;
+  std::size_t block_;
+  std::size_t count_ = 0;
+  double s1_ = 0.0, s2_ = 0.0;
+};
+
+}  // namespace vab::dsp

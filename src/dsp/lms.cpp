@@ -1,0 +1,53 @@
+#include "dsp/lms.hpp"
+
+#include <stdexcept>
+
+namespace vab::dsp {
+
+LmsCanceller::LmsCanceller(std::size_t taps, double mu) : mu_(mu) {
+  if (taps == 0) throw std::invalid_argument("LMS needs at least one tap");
+  if (mu <= 0.0 || mu >= 2.0) throw std::invalid_argument("NLMS mu must be in (0,2)");
+  weights_.assign(taps, cplx{});
+  delay_.assign(taps, cplx{});
+}
+
+cplx LmsCanceller::process(cplx input, cplx reference) {
+  delay_[pos_] = reference;
+
+  cplx estimate{};
+  double ref_power = 1e-12;
+  std::size_t idx = pos_;
+  for (std::size_t k = 0; k < weights_.size(); ++k) {
+    estimate += weights_[k] * delay_[idx];
+    ref_power += std::norm(delay_[idx]);
+    idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+  }
+
+  const cplx error = input - estimate;
+  if (adapting_) {
+    const double step = mu_ / ref_power;
+    idx = pos_;
+    for (std::size_t k = 0; k < weights_.size(); ++k) {
+      weights_[k] += step * error * std::conj(delay_[idx]);
+      idx = (idx == 0) ? delay_.size() - 1 : idx - 1;
+    }
+  }
+  pos_ = (pos_ + 1) % delay_.size();
+  return error;
+}
+
+cvec LmsCanceller::process(const cvec& input, const cvec& reference) {
+  if (input.size() != reference.size())
+    throw std::invalid_argument("LMS input/reference length mismatch");
+  cvec out(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) out[i] = process(input[i], reference[i]);
+  return out;
+}
+
+void LmsCanceller::reset() {
+  std::fill(weights_.begin(), weights_.end(), cplx{});
+  std::fill(delay_.begin(), delay_.end(), cplx{});
+  pos_ = 0;
+}
+
+}  // namespace vab::dsp

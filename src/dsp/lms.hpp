@@ -1,0 +1,43 @@
+// Complex normalized-LMS adaptive filter.
+//
+// The reader's self-interference canceller adapts a copy of the transmitted
+// carrier against the received signal; the residual is the backscatter
+// signal plus noise. NLMS normalizes the step by the reference power so one
+// mu works across signal levels.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/types.hpp"
+
+namespace vab::dsp {
+
+class LmsCanceller {
+ public:
+  /// `taps`: filter length; `mu`: NLMS step in (0, 2).
+  LmsCanceller(std::size_t taps, double mu);
+
+  /// One step: predicts the interference from `reference`, subtracts it from
+  /// `input`, adapts, and returns the residual (error signal).
+  cplx process(cplx input, cplx reference);
+
+  /// Block form for convenience.
+  cvec process(const cvec& input, const cvec& reference);
+
+  /// Freezes adaptation (e.g. during the data payload).
+  void set_adapting(bool on) { adapting_ = on; }
+  bool adapting() const { return adapting_; }
+
+  const cvec& weights() const { return weights_; }
+  void reset();
+
+ private:
+  cvec weights_;
+  cvec delay_;       // reference delay line, newest first
+  std::size_t pos_ = 0;
+  double mu_;
+  bool adapting_ = true;
+};
+
+}  // namespace vab::dsp

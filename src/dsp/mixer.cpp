@@ -1,0 +1,47 @@
+#include "dsp/mixer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace vab::dsp {
+
+Nco::Nco(double freq_hz, double fs_hz, double phase_rad)
+    : fs_hz_(fs_hz), step_(common::kTwoPi * freq_hz / fs_hz), phase_(phase_rad) {
+  if (fs_hz <= 0.0) throw std::invalid_argument("NCO sample rate must be > 0");
+}
+
+cplx Nco::next() {
+  const cplx out{std::cos(phase_), std::sin(phase_)};
+  phase_ = common::wrap_angle(phase_ + step_);
+  return out;
+}
+
+double Nco::next_cos() { return next().real(); }
+
+void Nco::set_frequency(double freq_hz) { step_ = common::kTwoPi * freq_hz / fs_hz_; }
+
+rvec make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude,
+               double phase_rad) {
+  Nco nco(freq_hz, fs_hz, phase_rad);
+  rvec out(n);
+  for (auto& x : out) x = amplitude * nco.next_cos();
+  return out;
+}
+
+cvec downconvert(const rvec& x, double freq_hz, double fs_hz, double phase_rad) {
+  Nco nco(-freq_hz, fs_hz, -phase_rad);
+  cvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * nco.next();
+  return out;
+}
+
+rvec upconvert(const cvec& x, double freq_hz, double fs_hz, double phase_rad) {
+  Nco nco(freq_hz, fs_hz, phase_rad);
+  rvec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] * nco.next()).real();
+  return out;
+}
+
+}  // namespace vab::dsp

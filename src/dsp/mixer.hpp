@@ -1,0 +1,42 @@
+// Numerically controlled oscillator and complex down/up-conversion.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace vab::dsp {
+
+/// Phase-accumulating oscillator; phase-continuous across chunks.
+class Nco {
+ public:
+  Nco(double freq_hz, double fs_hz, double phase_rad = 0.0);
+
+  /// Next complex exponential sample e^{j(2*pi*f*n/fs + phase0)}.
+  cplx next();
+  /// Next real cosine sample.
+  double next_cos();
+
+  /// Instantaneous phase in radians.
+  double phase() const { return phase_; }
+  void set_frequency(double freq_hz);
+
+ private:
+  double fs_hz_;
+  double step_;
+  double phase_;
+};
+
+/// Generates a real tone of length n.
+rvec make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude = 1.0,
+               double phase_rad = 0.0);
+
+/// Complex baseband conversion: y[n] = x[n] * e^{-j 2 pi f n / fs}.
+/// (Follow with a low-pass to complete the downconversion.)
+cvec downconvert(const rvec& x, double freq_hz, double fs_hz, double phase_rad = 0.0);
+
+/// Upconversion of complex baseband to a real passband signal:
+/// y[n] = Re{ x[n] * e^{+j 2 pi f n / fs} }.
+rvec upconvert(const cvec& x, double freq_hz, double fs_hz, double phase_rad = 0.0);
+
+}  // namespace vab::dsp

@@ -1,0 +1,27 @@
+// Welch power-spectral-density estimation, used to validate synthesized
+// ambient noise against the Wenz model and to measure SIC suppression.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "dsp/window.hpp"
+
+namespace vab::dsp {
+
+struct Psd {
+  rvec freq_hz;     ///< bin centers, 0..fs/2 for real input
+  rvec power_db;    ///< 10*log10 of PSD (per Hz)
+};
+
+/// Welch PSD of a real signal: `segment` samples per segment (power of two),
+/// 50% overlap, Hann window. PSD is one-sided, in dB re (input unit)^2/Hz.
+Psd welch_psd(const rvec& x, double fs_hz, std::size_t segment = 1024,
+              WindowType window = WindowType::kHann);
+
+/// Total band power (linear) of a real signal between f_lo and f_hi,
+/// integrated from the Welch PSD.
+double band_power(const rvec& x, double fs_hz, double f_lo, double f_hi,
+                  std::size_t segment = 1024);
+
+}  // namespace vab::dsp

@@ -1,0 +1,30 @@
+// Application-layer sensor payloads for coastal-monitoring nodes.
+//
+// Readings are packed fixed-point to keep uplink frames short: at 500 bps a
+// byte costs 16 ms of airtime, so a full report is 6 bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace vab::net {
+
+struct SensorReading {
+  double temperature_c = 0.0;   ///< [-40, +87.67] at 1/500 C resolution
+  double pressure_kpa = 0.0;    ///< [0, 6553.5] at 0.1 kPa resolution
+  std::uint16_t battery_mv = 0; ///< storage-capacitor voltage (energy state)
+};
+
+/// Packs a reading into 6 bytes (2 per field, big-endian fixed point).
+bytes encode_reading(const SensorReading& r);
+
+/// Unpacks; nullopt if the buffer is not exactly 6 bytes.
+std::optional<SensorReading> decode_reading(const bytes& data);
+
+/// Round-trip quantization error bounds, used by tests.
+inline constexpr double kTempResolutionC = 1.0 / 500.0;
+inline constexpr double kPressureResolutionKpa = 0.1;
+
+}  // namespace vab::net

@@ -1,0 +1,66 @@
+#include "net/discovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace vab::net {
+
+DiscoveryResult run_discovery(const std::vector<std::uint8_t>& population,
+                              const DiscoveryConfig& cfg, common::Rng& rng) {
+  if (population.empty()) throw std::invalid_argument("empty population");
+  {
+    std::set<std::uint8_t> uniq(population.begin(), population.end());
+    if (uniq.size() != population.size())
+      throw std::invalid_argument("duplicate node addresses");
+  }
+
+  DiscoveryResult result;
+  std::set<std::uint8_t> pending(population.begin(), population.end());
+  double qfp = static_cast<double>(cfg.initial_q);
+
+  for (std::size_t round = 0; round < cfg.max_rounds && !pending.empty(); ++round) {
+    DiscoveryRound r;
+    r.q = static_cast<std::uint8_t>(std::clamp(std::lround(qfp), 0L,
+                                               static_cast<long>(cfg.max_q)));
+    r.slots = static_cast<std::size_t>(1) << r.q;
+    result.total_slots += r.slots;
+
+    // Every undiscovered node picks a slot uniformly.
+    std::map<std::size_t, std::vector<std::uint8_t>> slot_map;
+    for (auto addr : pending) {
+      const auto slot = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<long>(r.slots) - 1));
+      slot_map[slot].push_back(addr);
+    }
+
+    for (std::size_t slot = 0; slot < r.slots; ++slot) {
+      const auto it = slot_map.find(slot);
+      if (it == slot_map.end()) {
+        ++r.empties;
+        qfp = std::max(0.0, qfp - cfg.q_step_down);
+      } else if (it->second.size() == 1) {
+        ++r.singletons;
+        // Singleton decodes unless the channel eats it.
+        if (!rng.coin(cfg.reply_loss_prob)) {
+          r.discovered.push_back(it->second.front());
+        }
+      } else {
+        ++r.collisions;
+        qfp = std::min(static_cast<double>(cfg.max_q), qfp + cfg.q_step_up);
+      }
+    }
+
+    for (auto addr : r.discovered) {
+      pending.erase(addr);
+      result.discovered.insert(addr);
+    }
+    result.rounds.push_back(std::move(r));
+  }
+
+  result.complete = pending.empty();
+  return result;
+}
+
+}  // namespace vab::net

@@ -1,0 +1,67 @@
+// Slotted-Aloha node discovery with an adaptive frame size (Q algorithm).
+//
+// The TDMA inventory (mac.hpp) assumes the reader knows every node address.
+// After deployment it does not: nodes are discovered with framed slotted
+// Aloha, RFID-style. The reader announces a frame of 2^Q slots; each
+// undiscovered node picks a slot uniformly at random and backscatters its
+// address there. Singleton slots are acknowledged (the node then goes
+// quiet); collisions and empties drive Q up or down. Backscatter cannot
+// carrier-sense, so collision resolution must live entirely at the reader —
+// exactly why the Gen2 shape fits here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vab::net {
+
+struct DiscoveryConfig {
+  std::uint8_t initial_q = 2;      ///< first frame has 2^Q slots
+  std::uint8_t max_q = 8;
+  /// Q adaptation weights (Gen2-style floating Qfp).
+  double q_step_up = 0.35;         ///< added per collision slot
+  double q_step_down = 0.25;       ///< subtracted per empty slot
+  std::size_t max_rounds = 64;
+  /// Probability that a singleton reply is lost to channel errors.
+  double reply_loss_prob = 0.0;
+};
+
+enum class SlotOutcome : std::uint8_t { kEmpty, kSingleton, kCollision };
+
+struct DiscoveryRound {
+  std::uint8_t q = 0;
+  std::size_t slots = 0;
+  std::size_t empties = 0;
+  std::size_t singletons = 0;
+  std::size_t collisions = 0;
+  std::vector<std::uint8_t> discovered;  ///< addresses ack'd this round
+};
+
+struct DiscoveryResult {
+  std::vector<DiscoveryRound> rounds;
+  std::set<std::uint8_t> discovered;
+  std::size_t total_slots = 0;
+  bool complete = false;  ///< every node found within max_rounds
+
+  double slots_per_node() const {
+    return discovered.empty()
+               ? 0.0
+               : static_cast<double>(total_slots) / static_cast<double>(discovered.size());
+  }
+};
+
+/// Simulates the discovery protocol over a population of node addresses.
+/// Channel imperfections enter via `cfg.reply_loss_prob`.
+DiscoveryResult run_discovery(const std::vector<std::uint8_t>& population,
+                              const DiscoveryConfig& cfg, common::Rng& rng);
+
+/// Expected efficiency of framed slotted Aloha at the optimum (frame size
+/// equal to population): 1/e singletons per slot.
+inline constexpr double kAlohaOptimalEfficiency = 0.3679;
+
+}  // namespace vab::net

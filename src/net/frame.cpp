@@ -1,0 +1,42 @@
+#include "net/frame.hpp"
+
+#include <stdexcept>
+
+#include "phy/coding.hpp"
+
+namespace vab::net {
+
+bytes serialize(const Frame& f) {
+  if (f.payload.size() > kMaxPayload) throw std::invalid_argument("payload too large");
+  bytes out;
+  out.reserve(f.wire_size());
+  out.push_back(f.addr);
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  out.push_back(f.seq);
+  out.push_back(static_cast<std::uint8_t>(f.payload.size()));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  return phy::append_crc(out);
+}
+
+bitvec serialize_bits(const Frame& f) { return phy::bits_from_bytes(serialize(f)); }
+
+std::optional<Frame> parse(const bytes& wire) {
+  bytes body;
+  if (!phy::check_and_strip_crc(wire, body)) return std::nullopt;
+  if (body.size() < 4) return std::nullopt;
+  Frame f;
+  f.addr = body[0];
+  f.type = static_cast<FrameType>(body[1]);
+  f.seq = body[2];
+  const std::size_t len = body[3];
+  if (body.size() != 4 + len) return std::nullopt;
+  f.payload.assign(body.begin() + 4, body.end());
+  return f;
+}
+
+std::optional<Frame> parse_bits(const bitvec& wire_bits) {
+  if (wire_bits.size() % 8 != 0) return std::nullopt;
+  return parse(phy::bytes_from_bits(wire_bits));
+}
+
+}  // namespace vab::net

@@ -1,0 +1,49 @@
+// VAB link-layer frame format.
+//
+// Uplink frames ride on the FM0 backscatter PHY; downlink commands ride on
+// PIE. Both use the same byte layout:
+//   [addr:1][type:1][seq:1][len:1][payload:len][crc16:2]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace vab::net {
+
+/// Broadcast address (all nodes).
+inline constexpr std::uint8_t kBroadcastAddr = 0xFF;
+
+enum class FrameType : std::uint8_t {
+  kQuery = 0x01,        ///< reader -> node: report your sensor data
+  kQueryAll = 0x02,     ///< reader -> all: TDMA round announcement
+  kSensorReport = 0x10, ///< node -> reader: sensor payload
+  kAck = 0x20,          ///< reader -> node: report received
+  kAssignSlot = 0x30,   ///< reader -> node: TDMA slot assignment
+};
+
+struct Frame {
+  std::uint8_t addr = 0;     ///< destination (downlink) or source (uplink)
+  FrameType type = FrameType::kQuery;
+  std::uint8_t seq = 0;
+  bytes payload;
+
+  /// Serialized size in bytes including CRC.
+  std::size_t wire_size() const { return 4 + payload.size() + 2; }
+};
+
+/// Serializes with CRC appended.
+bytes serialize(const Frame& f);
+
+/// Serialized frame as bits (MSB-first), ready for the PHY.
+bitvec serialize_bits(const Frame& f);
+
+/// Parses and CRC-checks; nullopt on malformed/corrupt input.
+std::optional<Frame> parse(const bytes& wire);
+std::optional<Frame> parse_bits(const bitvec& wire_bits);
+
+/// Maximum payload bytes (len field is one byte).
+inline constexpr std::size_t kMaxPayload = 255;
+
+}  // namespace vab::net

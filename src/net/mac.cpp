@@ -1,0 +1,93 @@
+#include "net/mac.hpp"
+
+#include <stdexcept>
+
+namespace vab::net {
+
+double MacTiming::slot_duration_s() const {
+  // Frame: 4 header + payload + 2 CRC bytes, FM0 preamble/idle overhead
+  // approximated as 10 ms, plus 20% margin.
+  const double bits = (4.0 + slot_payload_bytes + 2.0) * 8.0;
+  return 1.2 * (bits / uplink_bitrate_bps + 0.010);
+}
+
+NodeMac::NodeMac(std::uint8_t address, MacTiming timing)
+    : addr_(address), timing_(timing), slot_(address) {
+  if (address == kBroadcastAddr) throw std::invalid_argument("broadcast is not a node address");
+}
+
+std::optional<NodeMac::Response> NodeMac::on_downlink(const Frame& dl,
+                                                      const SensorReading& reading) {
+  switch (dl.type) {
+    case FrameType::kAssignSlot: {
+      if (dl.addr != addr_ || dl.payload.size() != 1) return std::nullopt;
+      slot_ = dl.payload[0];
+      return std::nullopt;
+    }
+    case FrameType::kQuery: {
+      if (dl.addr != addr_ && dl.addr != kBroadcastAddr) return std::nullopt;
+      Response r;
+      r.frame.addr = addr_;
+      r.frame.type = FrameType::kSensorReport;
+      r.frame.seq = seq_++;
+      r.frame.payload = encode_reading(reading);
+      r.tx_offset_s = timing_.guard_s;
+      return r;
+    }
+    case FrameType::kQueryAll: {
+      if (dl.payload.size() != 1) return std::nullopt;
+      const std::uint8_t n_slots = dl.payload[0];
+      if (slot_ >= n_slots) return std::nullopt;
+      Response r;
+      r.frame.addr = addr_;
+      r.frame.type = FrameType::kSensorReport;
+      r.frame.seq = seq_++;
+      r.frame.payload = encode_reading(reading);
+      r.tx_offset_s = timing_.guard_s +
+                      static_cast<double>(slot_) * timing_.slot_duration_s();
+      return r;
+    }
+    case FrameType::kSensorReport:
+    case FrameType::kAck:
+      return std::nullopt;  // uplink types; ignore on the downlink
+  }
+  return std::nullopt;
+}
+
+ReaderMac::ReaderMac(MacTiming timing) : timing_(timing) {}
+
+Frame ReaderMac::make_query(std::uint8_t addr) {
+  Frame f;
+  f.addr = addr;
+  f.type = FrameType::kQuery;
+  f.seq = seq_++;
+  return f;
+}
+
+Frame ReaderMac::make_round_announcement(std::uint8_t n_slots) {
+  Frame f;
+  f.addr = kBroadcastAddr;
+  f.type = FrameType::kQueryAll;
+  f.seq = seq_++;
+  f.payload = {n_slots};
+  return f;
+}
+
+Frame ReaderMac::make_slot_assignment(std::uint8_t addr, std::uint8_t slot) {
+  Frame f;
+  f.addr = addr;
+  f.type = FrameType::kAssignSlot;
+  f.seq = seq_++;
+  f.payload = {slot};
+  return f;
+}
+
+void ReaderMac::on_uplink(std::uint8_t addr, bool crc_ok) {
+  auto& s = stats_[addr];
+  if (crc_ok)
+    ++s.delivered;
+  else
+    ++s.corrupted;
+}
+
+}  // namespace vab::net

@@ -1,0 +1,91 @@
+// Reader-coordinated MAC.
+//
+// Backscatter nodes cannot carrier-sense (they have no receiver chain beyond
+// an envelope detector) and cannot initiate transmissions (they need the
+// reader's carrier to reflect). The MAC is therefore reader-driven, like
+// RFID inventory: the reader either polls one address (kQuery) or announces
+// a TDMA round (kQueryAll) in which node i backscatters in slot i.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/app.hpp"
+#include "net/frame.hpp"
+
+namespace vab::net {
+
+struct MacTiming {
+  double downlink_bitrate_bps = 80.0;  ///< PIE is slow; nodes decode passively
+  double uplink_bitrate_bps = 500.0;
+  /// Guard time between downlink end and the first uplink slot, covering the
+  /// worst-case round-trip propagation (e.g. 2*500 m / 1500 m/s).
+  double guard_s = 0.7;
+  double slot_payload_bytes = 12;      ///< frame payload budget per slot
+
+  /// Uplink slot duration in seconds (frame wire bits / bitrate + margin).
+  double slot_duration_s() const;
+};
+
+/// Node-side MAC state machine: consumes parsed downlink frames, produces
+/// uplink frames scheduled at an offset from the downlink end.
+class NodeMac {
+ public:
+  NodeMac(std::uint8_t address, MacTiming timing);
+
+  struct Response {
+    Frame frame;
+    double tx_offset_s = 0.0;  ///< when to start backscattering, after downlink end
+  };
+
+  /// Handles a downlink frame; returns the uplink response, if any.
+  std::optional<Response> on_downlink(const Frame& downlink, const SensorReading& reading);
+
+  std::uint8_t address() const { return addr_; }
+  std::uint8_t tdma_slot() const { return slot_; }
+  std::uint8_t next_seq() const { return seq_; }
+
+ private:
+  std::uint8_t addr_;
+  MacTiming timing_;
+  std::uint8_t slot_;  ///< TDMA slot index; defaults to address
+  std::uint8_t seq_ = 0;
+};
+
+/// Reader-side MAC: issues queries, assigns slots, tracks per-node delivery
+/// statistics across rounds.
+class ReaderMac {
+ public:
+  explicit ReaderMac(MacTiming timing);
+
+  /// Downlink frame polling a single node.
+  Frame make_query(std::uint8_t addr);
+  /// Downlink frame starting a TDMA round for `n_slots` nodes.
+  Frame make_round_announcement(std::uint8_t n_slots);
+  /// Downlink frame assigning `slot` to `addr`.
+  Frame make_slot_assignment(std::uint8_t addr, std::uint8_t slot);
+
+  /// Records an uplink result for statistics.
+  void on_uplink(std::uint8_t addr, bool crc_ok);
+
+  struct NodeStats {
+    std::size_t delivered = 0;
+    std::size_t corrupted = 0;
+    double delivery_rate() const {
+      const std::size_t total = delivered + corrupted;
+      return total ? static_cast<double>(delivered) / static_cast<double>(total) : 0.0;
+    }
+  };
+
+  const std::map<std::uint8_t, NodeStats>& stats() const { return stats_; }
+  const MacTiming& timing() const { return timing_; }
+
+ private:
+  MacTiming timing_;
+  std::uint8_t seq_ = 0;
+  std::map<std::uint8_t, NodeStats> stats_;
+};
+
+}  // namespace vab::net

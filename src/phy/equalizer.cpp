@@ -1,0 +1,101 @@
+#include "phy/equalizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/linalg.hpp"
+
+namespace vab::phy {
+
+ChannelEstimate estimate_channel_ls(const cvec& observed, const rvec& known,
+                                    std::size_t n_taps, int precursors) {
+  if (observed.size() != known.size())
+    throw std::invalid_argument("training length mismatch");
+  if (n_taps == 0) throw std::invalid_argument("need at least one channel tap");
+  const int n = static_cast<int>(n_taps);
+  const int len = static_cast<int>(known.size());
+  // Valid rows: c - (k - precursors) in [0, len) for all k in [0, n).
+  const int c_lo = n - 1 - precursors;
+  const int c_hi = len - 1 + (0 - precursors);  // need c + precursors <= len-1
+  const int c_end = std::min(len - 1, c_hi);
+  if (c_lo > c_end) throw std::invalid_argument("training too short for tap count");
+
+  const std::size_t rows = static_cast<std::size_t>(c_end - c_lo + 1);
+  common::CMatrix a(rows, n_taps + 1);  // +1: constant baseline column
+  cvec b(rows);
+  for (int c = c_lo; c <= c_end; ++c) {
+    const auto r = static_cast<std::size_t>(c - c_lo);
+    for (int k = 0; k < n; ++k)
+      a.at(r, static_cast<std::size_t>(k)) = cplx{known[static_cast<std::size_t>(c - k + precursors)], 0.0};
+    a.at(r, n_taps) = cplx{1.0, 0.0};
+    b[r] = observed[static_cast<std::size_t>(c)];
+  }
+
+  const cvec x = common::solve_least_squares(a, b, 1e-9);
+  ChannelEstimate est;
+  est.taps.assign(x.begin(), x.begin() + n);
+  est.precursors = precursors;
+  est.baseline = x[n_taps];
+
+  double err = 0.0, sig = 0.0;
+  for (int c = c_lo; c <= c_end; ++c) {
+    cplx model = est.baseline;
+    for (int k = 0; k < n; ++k)
+      model += est.taps[static_cast<std::size_t>(k)] *
+               known[static_cast<std::size_t>(c - k + precursors)];
+    err += std::norm(observed[static_cast<std::size_t>(c)] - model);
+    sig += std::norm(observed[static_cast<std::size_t>(c)]);
+  }
+  est.fit_error = sig > 0.0 ? err / sig : 1.0;
+  return est;
+}
+
+cvec design_zf_equalizer(const ChannelEstimate& est, std::size_t w_taps,
+                         std::size_t& delay_out) {
+  const std::size_t L = est.taps.size();
+  if (w_taps == 0) throw std::invalid_argument("equalizer needs taps");
+  // Convolution matrix C (rows: output index, cols: equalizer tap):
+  // (h * w)[i] = sum_j h[i-j] w[j], i in [0, L + W - 2].
+  const std::size_t out_len = L + w_taps - 1;
+  common::CMatrix c(out_len, w_taps);
+  for (std::size_t i = 0; i < out_len; ++i)
+    for (std::size_t j = 0; j < w_taps; ++j) {
+      if (i >= j && i - j < L) c.at(i, j) = est.taps[i - j];
+    }
+  // Target: delta at the main-tap position plus the equalizer center.
+  std::size_t main_tap = 0;
+  double best = 0.0;
+  for (std::size_t k = 0; k < L; ++k) {
+    const double m = std::abs(est.taps[k]);
+    if (m > best) {
+      best = m;
+      main_tap = k;
+    }
+  }
+  const std::size_t delay = main_tap + w_taps / 2;
+  cvec target(out_len);
+  target[delay] = cplx{1.0, 0.0};
+
+  const cvec w = common::solve_least_squares(c, target, 1e-6);
+  // Align equalizer output with the training indices: the cascade h*w has
+  // its delta at `delay` in tap coordinates; shifting by the precursor count
+  // maps back to the symbol clock.
+  const long d = static_cast<long>(delay) - static_cast<long>(est.precursors);
+  delay_out = d > 0 ? static_cast<std::size_t>(d) : 0;
+  return w;
+}
+
+cvec equalize(const cvec& x, const cvec& w, std::size_t delay) {
+  cvec y(x.size(), cplx{});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cplx acc{};
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      const std::size_t idx = i + delay;
+      if (idx >= j && idx - j < x.size()) acc += w[j] * x[idx - j];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+}  // namespace vab::phy

@@ -1,0 +1,39 @@
+// Preamble-trained chip-rate equalizer.
+//
+// Shallow-water backscatter rides a two-bounce waveguide: surface and bottom
+// arrivals land fractions of a chip after the direct path and fade
+// coherently. The demodulator estimates a short chip-spaced channel from the
+// known pilot+preamble chips (least squares, with a constant column that
+// absorbs residual carrier baseline) and applies a zero-forcing linear
+// equalizer designed from that estimate.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace vab::phy {
+
+struct ChannelEstimate {
+  cvec taps;            ///< h[-precursors .. n-1-precursors], chip spaced
+  int precursors = 0;   ///< taps before the main arrival
+  cplx baseline{};      ///< fitted constant offset (SIC residue)
+  double fit_error = 0.0;  ///< normalized residual of the LS fit
+};
+
+/// Fits `observed[c] = baseline + sum_k h_k * known[c - k]` over the region
+/// where all indices are valid. `known` are the +/-1 training levels.
+ChannelEstimate estimate_channel_ls(const cvec& observed, const rvec& known,
+                                    std::size_t n_taps, int precursors);
+
+/// Designs a `w_taps`-long least-squares inverse of `h` (delta at the
+/// returned `delay`). Regularized so a near-allpass channel yields a
+/// near-identity equalizer.
+cvec design_zf_equalizer(const ChannelEstimate& est, std::size_t w_taps,
+                         std::size_t& delay_out);
+
+/// Applies FIR `w` to `x` and compensates the design delay, so y[c] aligns
+/// with x[c].
+cvec equalize(const cvec& x, const cvec& w, std::size_t delay);
+
+}  // namespace vab::phy

@@ -1,0 +1,41 @@
+#include "phy/fec.hpp"
+
+#include <stdexcept>
+
+#include "phy/coding.hpp"
+
+namespace vab::phy {
+
+std::size_t FrameCodec::coded_size(std::size_t data_bits) const {
+  if (!cfg_.enable) return data_bits;
+  return padded_bits(data_bits) / 4 * 7;
+}
+
+bitvec FrameCodec::encode(const bitvec& data) const {
+  if (!cfg_.enable) return data;
+  bitvec padded = data;
+  padded.resize(padded_bits(data.size()), 0);
+  const bitvec coded = hamming74_encode(padded);
+  const std::size_t blocks = coded.size() / 7;
+  // Row-wise blocks, column-wise transmission: a burst of up to `blocks`
+  // consecutive chip errors lands one per block.
+  return interleave(coded, blocks, 7);
+}
+
+bitvec FrameCodec::decode(const bitvec& coded, std::size_t data_bits,
+                          std::size_t& corrected_blocks) const {
+  corrected_blocks = 0;
+  if (!cfg_.enable) {
+    if (coded.size() != data_bits) throw std::invalid_argument("coded size mismatch");
+    return coded;
+  }
+  if (coded.size() != coded_size(data_bits))
+    throw std::invalid_argument("coded size mismatch");
+  const std::size_t blocks = coded.size() / 7;
+  const bitvec deinter = deinterleave(coded, blocks, 7);
+  bitvec decoded = hamming74_decode(deinter, corrected_blocks);
+  decoded.resize(data_bits);
+  return decoded;
+}
+
+}  // namespace vab::phy

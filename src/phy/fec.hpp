@@ -1,0 +1,44 @@
+// Frame-level FEC: Hamming(7,4) + block interleaving packaged as a codec.
+//
+// Near the range limit, chip errors arrive both isolated (noise) and in
+// bursts (fades); the interleaver spreads a burst across code blocks so the
+// single-error-correcting Hamming code can absorb it. Rate 4/7.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace vab::phy {
+
+struct FecConfig {
+  bool enable = true;
+};
+
+class FrameCodec {
+ public:
+  explicit FrameCodec(FecConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Encoded size in bits for `data_bits` of payload (identity if disabled).
+  std::size_t coded_size(std::size_t data_bits) const;
+
+  /// Encodes: pad to a nibble boundary, Hamming-encode, interleave.
+  bitvec encode(const bitvec& data) const;
+
+  /// Decodes `coded` back to `data_bits` payload bits. `corrected_blocks`
+  /// reports how many Hamming blocks needed a correction.
+  bitvec decode(const bitvec& coded, std::size_t data_bits,
+                std::size_t& corrected_blocks) const;
+
+  bool enabled() const { return cfg_.enable; }
+
+ private:
+  static std::size_t padded_bits(std::size_t data_bits) {
+    return (data_bits + 3) / 4 * 4;
+  }
+
+  FecConfig cfg_;
+};
+
+}  // namespace vab::phy

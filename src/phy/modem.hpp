@@ -1,0 +1,117 @@
+// The VAB uplink modem: node-side backscatter modulator (switch-state
+// waveform) and reader-side demodulator chain.
+//
+// Reader receive chain:
+//   passband -> complex downconversion at the carrier -> anti-alias FIR ->
+//   decimation -> self-interference cancellation -> preamble correlation
+//   (timing + phase) -> per-chip matched filter -> coherent derotation ->
+//   FM0 soft decode -> bits.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/types.hpp"
+#include "phy/sic.hpp"
+
+namespace vab::phy {
+
+/// Uplink chip coding. FM0 is the paper's operating point; Miller-M trades
+/// M x bandwidth for data energy pushed further from the carrier residue.
+enum class UplinkCode { kFm0, kMiller2, kMiller4 };
+
+struct PhyConfig {
+  double fs_hz = 192000.0;       ///< passband simulation rate
+  double carrier_hz = 18500.0;   ///< piezo resonance
+  double bitrate_bps = 500.0;    ///< chip rate is chips_per_bit() x this
+  UplinkCode uplink_code = UplinkCode::kFm0;
+  /// Target baseband samples per chip after decimation (actual value may be
+  /// fractional; the demodulator interpolates).
+  std::size_t target_samples_per_chip = 8;
+  double sync_threshold = 0.45;  ///< normalized correlation acceptance
+  std::size_t lowpass_taps = 255;
+  SicConfig sic{};
+  /// Preamble-trained chip-rate equalizer (set false for the ablation).
+  bool enable_equalizer = true;
+  std::size_t channel_taps = 3;    ///< chip-spaced channel estimate length
+  std::size_t equalizer_taps = 7;  ///< zero-forcing equalizer length
+
+  std::size_t chips_per_bit() const {
+    switch (uplink_code) {
+      case UplinkCode::kMiller2: return 4;
+      case UplinkCode::kMiller4: return 8;
+      case UplinkCode::kFm0: break;
+    }
+    return 2;
+  }
+  double chip_rate_hz() const {
+    return static_cast<double>(chips_per_bit()) * bitrate_bps;
+  }
+  /// Integer decimation factor from fs to the baseband processing rate.
+  std::size_t decimation() const;
+  double fs_baseband_hz() const { return fs_hz / static_cast<double>(decimation()); }
+  double samples_per_chip_bb() const { return fs_baseband_hz() / chip_rate_hz(); }
+};
+
+/// Node-side modulator: produces the per-sample switch state (0/1 at fs)
+/// for a frame = [idle pad][preamble chips][FM0-coded payload][idle pad].
+class BackscatterModulator {
+ public:
+  explicit BackscatterModulator(PhyConfig cfg);
+
+  /// Switch state for each passband sample.
+  bitvec switch_waveform(const bitvec& payload_bits) const;
+
+  /// 1 where the frame (preamble + payload chips) is active, 0 during the
+  /// idle padding. Polarity-modulated nodes only toggle inside the active
+  /// region; outside it they sit absorptive (harvesting).
+  bitvec active_mask(std::size_t n_payload_bits) const;
+
+  /// Number of passband samples `switch_waveform` returns for a payload.
+  std::size_t waveform_length(std::size_t n_payload_bits) const;
+
+  /// Idle padding before/after the frame, in chips.
+  static constexpr std::size_t kIdleChips = 32;
+  /// Alternating pilot chips between idle and preamble. Modulation onset
+  /// steps the mean reflection (on-off keying is not DC-free); the pilot
+  /// lets the reader's AC-coupled front end settle onto the in-frame
+  /// baseline before the sync pattern arrives.
+  static constexpr std::size_t kSettleChips = 32;
+
+  const PhyConfig& config() const { return cfg_; }
+
+ private:
+  PhyConfig cfg_;
+};
+
+struct DemodResult {
+  bool sync_found = false;
+  bitvec bits;                 ///< decoded payload bits (empty if no sync)
+  double corr_peak = 0.0;      ///< normalized preamble correlation
+  double carrier_phase_rad = 0.0;
+  double snr_db = 0.0;         ///< post-processing chip SNR estimate
+  double sic_suppression_db = 0.0;
+  std::size_t sync_index_bb = 0;
+  double channel_fit_error = 0.0;  ///< LS residual of the channel estimate
+};
+
+class ReaderDemodulator {
+ public:
+  explicit ReaderDemodulator(PhyConfig cfg);
+
+  /// Demodulates `expected_bits` payload bits from a passband capture.
+  DemodResult demodulate(const rvec& passband, std::size_t expected_bits) const;
+
+  /// Exposes the baseband (post-SIC) signal for diagnostics/benches.
+  cvec to_baseband(const rvec& passband, double* suppression_db = nullptr) const;
+
+  const PhyConfig& config() const { return cfg_; }
+
+ private:
+  PhyConfig cfg_;
+};
+
+/// Continuous reader carrier (projector drive), unit amplitude.
+rvec reader_carrier(const PhyConfig& cfg, std::size_t n_samples);
+
+}  // namespace vab::phy

@@ -1,0 +1,36 @@
+// Pulse-interval encoding (PIE) for the reader-to-node downlink.
+//
+// The reader amplitude-modulates its carrier: every symbol is a high
+// interval followed by a fixed low pulse; a data-1 high interval is twice as
+// long as a data-0's. A node decodes with a passive envelope detector and a
+// threshold — no mixer, no clock recovery, microwatt-scale listening power.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace vab::phy {
+
+struct PieConfig {
+  double tari_s = 12.5e-3;      ///< data-0 high duration (reference interval)
+  double pw_ratio = 0.5;        ///< low-pulse width as a fraction of tari
+  double one_ratio = 2.0;       ///< data-1 high duration in taris
+  /// Frame delimiter: a low pulse this many taris long precedes the data.
+  double delimiter_taris = 4.0;
+};
+
+/// Expands bits into an on/off envelope (1 = carrier on) sampled at `fs_hz`,
+/// starting with the frame delimiter.
+rvec pie_encode_envelope(const bitvec& bits, const PieConfig& cfg, double fs_hz);
+
+/// Decodes an envelope (arbitrary positive amplitude, 0 when off) back into
+/// bits. Threshold is adaptive (half the observed high level). Returns
+/// nullopt if no delimiter is found.
+std::optional<bitvec> pie_decode_envelope(const rvec& envelope, const PieConfig& cfg,
+                                          double fs_hz);
+
+/// Duration in seconds of the encoded envelope for `n_bits`.
+double pie_duration_s(std::size_t n_bits, const PieConfig& cfg);
+
+}  // namespace vab::phy

@@ -1,0 +1,45 @@
+#include "phy/wakeup.hpp"
+
+#include <stdexcept>
+
+namespace vab::phy {
+
+WakeupDetector::WakeupDetector(WakeupConfig cfg)
+    : cfg_(cfg), goertzel_(cfg.carrier_hz, cfg.fs_hz, cfg.block) {
+  if (cfg.on_threshold <= cfg.off_threshold)
+    throw std::invalid_argument("hysteresis requires on_threshold > off_threshold");
+  if (cfg.confirm_blocks == 0)
+    throw std::invalid_argument("confirm_blocks must be >= 1");
+}
+
+bool WakeupDetector::push(double sample) {
+  double power = 0.0;
+  if (!goertzel_.push(sample, power)) return false;
+  ++blocks_;
+  last_power_ = power;
+
+  if (!awake_) {
+    streak_ = power >= cfg_.on_threshold ? streak_ + 1 : 0;
+    if (streak_ >= cfg_.confirm_blocks) {
+      awake_ = true;
+      streak_ = 0;
+      return true;  // wake event
+    }
+  } else {
+    streak_ = power <= cfg_.off_threshold ? streak_ + 1 : 0;
+    if (streak_ >= cfg_.confirm_blocks) {
+      awake_ = false;
+      streak_ = 0;
+    }
+  }
+  return false;
+}
+
+void WakeupDetector::reset() {
+  awake_ = false;
+  streak_ = 0;
+  blocks_ = 0;
+  last_power_ = 0.0;
+}
+
+}  // namespace vab::phy

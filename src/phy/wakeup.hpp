@@ -1,0 +1,52 @@
+// Node-side carrier wake-up detector.
+//
+// A sleeping node cannot run the reader's DSP chain; it watches for the
+// reader's carrier with a Goertzel bin (two multiplies per sample) and a
+// hysteresis comparator, then powers the envelope detector for the PIE
+// downlink. This is the microwatt front door of the node's state machine.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "dsp/goertzel.hpp"
+
+namespace vab::phy {
+
+struct WakeupConfig {
+  double carrier_hz = 18500.0;
+  double fs_hz = 96000.0;
+  /// Detection block length in samples (latency vs sensitivity trade).
+  std::size_t block = 960;  ///< 10 ms at 96 kHz
+  /// Carrier power (block-normalized) that asserts the wake signal.
+  double on_threshold = 1e-6;
+  /// Power below which the node returns to sleep (hysteresis).
+  double off_threshold = 2.5e-7;
+  /// Consecutive blocks above/below threshold required to switch.
+  std::size_t confirm_blocks = 2;
+};
+
+class WakeupDetector {
+ public:
+  explicit WakeupDetector(WakeupConfig cfg);
+
+  /// Feeds one sample; returns true exactly when a wake event fires (rising
+  /// edge after confirmation).
+  bool push(double sample);
+
+  bool awake() const { return awake_; }
+  double last_block_power() const { return last_power_; }
+  std::size_t blocks_processed() const { return blocks_; }
+
+  void reset();
+
+ private:
+  WakeupConfig cfg_;
+  dsp::GoertzelDetector goertzel_;
+  bool awake_ = false;
+  std::size_t streak_ = 0;
+  std::size_t blocks_ = 0;
+  double last_power_ = 0.0;
+};
+
+}  // namespace vab::phy

@@ -1,0 +1,65 @@
+#include "piezo/harvester.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace vab::piezo {
+
+double rectifier_efficiency(const RectifierModel& r, double input_rms_v) {
+  if (input_rms_v <= r.diode_drop_v) return 0.0;
+  // Soft knee: efficiency climbs from 0 past the diode drop toward peak.
+  const double x = (input_rms_v - r.diode_drop_v) / r.knee_voltage_v;
+  return r.peak_efficiency * x / (1.0 + x);
+}
+
+EnergyHarvester::EnergyHarvester(HarvesterConfig cfg, const BvdModel& transducer)
+    : cfg_(cfg), transducer_(transducer) {
+  if (cfg_.aperture_m2 <= 0.0) throw std::invalid_argument("aperture must be > 0");
+}
+
+double EnergyHarvester::available_electrical_power_w(double pressure_pa, double f_hz) const {
+  if (pressure_pa < 0.0) throw std::invalid_argument("pressure must be >= 0");
+  // Plane-wave intensity I = p_rms^2 / (rho c).
+  const double intensity = pressure_pa * pressure_pa / common::kWaterAcousticImpedance;
+  // Acoustic->electrical conversion mirrors the electrical->acoustic path:
+  // the motional efficiency applies in reverse.
+  return intensity * cfg_.aperture_m2 * transducer_.eta_acoustic();
+  (void)f_hz;
+}
+
+double EnergyHarvester::harvested_power_w(double pressure_pa, double f_hz) const {
+  const double p_el = available_electrical_power_w(pressure_pa, f_hz);
+  // Rectifier input RMS voltage after the boost network; the diode drop
+  // makes harvesting nonlinear in the incident level.
+  const double v_rms = std::sqrt(p_el * cfg_.rectifier_input_resistance_ohms);
+  return p_el * rectifier_efficiency(cfg_.rectifier, v_rms);
+}
+
+double PowerBudget::average_power_w(double frac_sleep, double frac_listen,
+                                    double frac_backscatter, double frac_active) const {
+  const double total = frac_sleep + frac_listen + frac_backscatter + frac_active;
+  if (total <= 0.0 || total > 1.0 + 1e-9)
+    throw std::invalid_argument("duty-cycle fractions must sum to at most 1");
+  return sleep_w * frac_sleep + rx_listen_w * frac_listen +
+         backscatter_w * frac_backscatter + mcu_active_w * frac_active;
+}
+
+double energy_per_bit_j(const PowerBudget& b, double bitrate_bps) {
+  if (bitrate_bps <= 0.0) throw std::invalid_argument("bitrate must be > 0");
+  return b.backscatter_w / bitrate_bps;
+}
+
+bool is_energy_neutral(const EnergyHarvester& h, const PowerBudget& b, double pressure_pa,
+                       double f_hz, double frac_sleep, double frac_listen,
+                       double frac_backscatter, double frac_active) {
+  // Harvesting only happens in the absorptive (non-backscatter) states.
+  const double harvest_duty = frac_sleep + frac_listen;
+  const double in_w = h.harvested_power_w(pressure_pa, f_hz) * harvest_duty;
+  const double out_w =
+      b.average_power_w(frac_sleep, frac_listen, frac_backscatter, frac_active);
+  return in_w >= out_w;
+}
+
+}  // namespace vab::piezo

@@ -1,0 +1,109 @@
+#include "piezo/matching.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace vab::piezo {
+
+namespace {
+
+cplx element_impedance_at(double x_at_design, double f_design, double f) {
+  // Reactance sign at design frequency selects the element type; ideal L/C
+  // reactances then scale with frequency.
+  if (x_at_design >= 0.0) {
+    const double l = x_at_design / (common::kTwoPi * f_design);
+    return impedance_inductor(l, common::kTwoPi * f);
+  }
+  const double c = 1.0 / (common::kTwoPi * f_design * -x_at_design);
+  return impedance_capacitor(c, common::kTwoPi * f);
+}
+
+cplx shunt_admittance_at(double b_at_design, double f_design, double f) {
+  if (b_at_design >= 0.0) {
+    const double c = b_at_design / (common::kTwoPi * f_design);
+    return cplx{0.0, common::kTwoPi * f * c};
+  }
+  const double l = 1.0 / (common::kTwoPi * f_design * -b_at_design);
+  return cplx{0.0, -1.0 / (common::kTwoPi * f * l)};
+}
+
+}  // namespace
+
+double LSection::series_inductance() const {
+  return x_series_ohms > 0.0 ? x_series_ohms / (common::kTwoPi * f_design_hz) : 0.0;
+}
+double LSection::series_capacitance() const {
+  return x_series_ohms < 0.0 ? 1.0 / (common::kTwoPi * f_design_hz * -x_series_ohms) : 0.0;
+}
+double LSection::shunt_inductance() const {
+  return b_shunt_siemens < 0.0 ? 1.0 / (common::kTwoPi * f_design_hz * -b_shunt_siemens)
+                               : 0.0;
+}
+double LSection::shunt_capacitance() const {
+  return b_shunt_siemens > 0.0 ? b_shunt_siemens / (common::kTwoPi * f_design_hz) : 0.0;
+}
+
+TwoPort LSection::network_at(double f_hz) const {
+  const TwoPort ser = series_element(element_impedance_at(x_series_ohms, f_design_hz, f_hz));
+  const TwoPort shn = shunt_element(shunt_admittance_at(b_shunt_siemens, f_design_hz, f_hz));
+  // Port 1 faces the source, port 2 faces the load (transducer).
+  return shunt_first ? ser.then(shn) : shn.then(ser);
+}
+
+std::optional<LSection> design_l_match(cplx z_load, double r_source, double f_hz) {
+  const double rl = z_load.real();
+  const double xl = z_load.imag();
+  if (rl <= 0.0 || r_source <= 0.0 || f_hz <= 0.0) return std::nullopt;
+
+  LSection s;
+  s.f_design_hz = f_hz;
+
+  if (rl <= r_source) {
+    // Series element adjacent to the load, shunt at the source side.
+    const double x_tot = std::sqrt(rl * (r_source - rl));
+    const double x = x_tot - xl;  // choose the +sqrt branch
+    const double denom = rl * rl + x_tot * x_tot;
+    s.x_series_ohms = x;
+    s.b_shunt_siemens = x_tot / denom;
+    s.shunt_first = false;
+  } else {
+    // Shunt element adjacent to the load, series at the source side.
+    const double mag2 = std::norm(z_load);
+    const double gl = rl / mag2;
+    const double bl = -xl / mag2;
+    const double b_tot = std::sqrt(std::max(gl / r_source - gl * gl, 0.0));
+    const double denom = gl * gl + b_tot * b_tot;
+    s.x_series_ohms = b_tot / denom;
+    s.b_shunt_siemens = b_tot - bl;
+    s.shunt_first = true;
+  }
+  return s;
+}
+
+MatchedTransducer::MatchedTransducer(BvdModel bvd, double r_source, double f_design_hz)
+    : bvd_(std::move(bvd)), r_source_(r_source) {
+  const auto section = design_l_match(bvd_.impedance(f_design_hz), r_source, f_design_hz);
+  if (!section)
+    throw std::invalid_argument("cannot match transducer with non-positive resistance");
+  section_ = *section;
+}
+
+cplx MatchedTransducer::input_impedance(double f_hz) const {
+  return section_.network_at(f_hz).input_impedance(bvd_.impedance(f_hz));
+}
+
+double MatchedTransducer::radiated_fraction(double f_hz) const {
+  // The L-section is lossless, so power accepted at its input all reaches
+  // the transducer; the acoustic share is eta.
+  return power_transfer_efficiency(input_impedance(f_hz), cplx{r_source_, 0.0}) *
+         bvd_.eta_acoustic();
+}
+
+double MatchedTransducer::radiated_fraction_unmatched(double f_hz) const {
+  return power_transfer_efficiency(bvd_.impedance(f_hz), cplx{r_source_, 0.0}) *
+         bvd_.eta_acoustic();
+}
+
+}  // namespace vab::piezo

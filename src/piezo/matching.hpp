@@ -1,0 +1,65 @@
+// L-section matching-network synthesis.
+//
+// The paper's co-design matches the piezo's complex impedance at the
+// operating frequency to the interconnect so that power received by one Van
+// Atta element is delivered — not reflected — to its partner. We synthesize
+// the classic two-element (L-section) match analytically and expose the
+// resulting power-transfer-efficiency-vs-frequency curve (experiment E7).
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "piezo/bvd.hpp"
+#include "piezo/network.hpp"
+
+namespace vab::piezo {
+
+struct LSection {
+  /// Series element impedance is +j*x_series at the design frequency
+  /// (x_series > 0 means inductive); shunt susceptance likewise.
+  double x_series_ohms = 0.0;
+  double b_shunt_siemens = 0.0;
+  bool shunt_first = false;  ///< topology: shunt on the load side if true
+  double f_design_hz = 0.0;
+
+  /// Element values realized as L/C at the design frequency.
+  double series_inductance() const;
+  double series_capacitance() const;
+  double shunt_inductance() const;
+  double shunt_capacitance() const;
+
+  /// Two-port of the section at `f_hz` (elements are ideal L/C realized at
+  /// f_design, so the reactances scale with frequency).
+  TwoPort network_at(double f_hz) const;
+};
+
+/// Designs an L-section that matches complex load `z_load` to a real source
+/// resistance `r_source` at `f_hz`. Returns nullopt only for degenerate
+/// loads (non-positive real part).
+std::optional<LSection> design_l_match(cplx z_load, double r_source, double f_hz);
+
+/// Efficiency (fraction of available power delivered into the transducer's
+/// radiation resistance) vs frequency, with and without the match.
+struct MatchedTransducer {
+  MatchedTransducer(BvdModel bvd, double r_source, double f_design_hz);
+
+  /// Input impedance of match + transducer at `f_hz`.
+  cplx input_impedance(double f_hz) const;
+
+  /// Fraction of available source power radiated acoustically at `f_hz`.
+  double radiated_fraction(double f_hz) const;
+
+  /// Same quantity without the matching network, for the ablation.
+  double radiated_fraction_unmatched(double f_hz) const;
+
+  const LSection& section() const { return section_; }
+  const BvdModel& transducer() const { return bvd_; }
+
+ private:
+  BvdModel bvd_;
+  double r_source_;
+  LSection section_;
+};
+
+}  // namespace vab::piezo

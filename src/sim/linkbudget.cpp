@@ -1,0 +1,86 @@
+#include "sim/linkbudget.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "channel/spreading.hpp"
+#include "phy/ber.hpp"
+
+namespace vab::sim {
+
+LinkBudget::LinkBudget(Scenario scenario)
+    : scenario_(std::move(scenario)), array_(scenario_.node.array) {}
+
+double LinkBudget::node_modulation_amplitude() const {
+  return array_.modulation_amplitude(scenario_.node.orientation_rad,
+                                     scenario_.phy.carrier_hz);
+}
+
+double LinkBudget::carrier_spl_at_node(double range_m) const {
+  const double tl = scenario_.env.spreading_coeff * std::log10(std::max(range_m, 1.0)) +
+                    channel::absorption_loss_db(scenario_.phy.carrier_hz, range_m,
+                                                scenario_.env.water);
+  return scenario_.reader.source_level_db - tl;
+}
+
+LinkBudgetResult LinkBudget::evaluate(double range_m, double fading_db) const {
+  if (range_m <= 0.0) throw std::invalid_argument("range must be > 0");
+  LinkBudgetResult r;
+  r.tl_one_way_db =
+      scenario_.env.spreading_coeff * std::log10(std::max(range_m, 1.0)) +
+      channel::absorption_loss_db(scenario_.phy.carrier_hz, range_m, scenario_.env.water);
+  r.received_at_node_db = scenario_.reader.source_level_db - r.tl_one_way_db;
+
+  const double mod_amp = node_modulation_amplitude();
+  const double ts_mod =
+      kElementTargetStrengthDb + 20.0 * std::log10(std::max(mod_amp, 1e-12));
+  r.modulated_return_db = r.received_at_node_db + ts_mod - r.tl_one_way_db + fading_db;
+
+  const double chip_rate = scenario_.phy.chip_rate_hz();
+  r.noise_in_band_db =
+      channel::noise_level_db(scenario_.phy.carrier_hz, chip_rate, scenario_.env.noise);
+  r.snr_chip_db = r.modulated_return_db - r.noise_in_band_db;
+  r.ber = phy::ber_fm0(std::pow(10.0, r.snr_chip_db / 10.0));
+  return r;
+}
+
+LinkBudget::BerStats LinkBudget::monte_carlo(double range_m, std::size_t trials,
+                                             std::size_t bits_per_trial,
+                                             common::Rng& rng) const {
+  BerStats stats;
+  double snr_acc = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const double fade = rng.gaussian(0.0, scenario_.env.fading_sigma_db);
+    const LinkBudgetResult r = evaluate(range_m, fade);
+    snr_acc += r.snr_chip_db;
+    std::binomial_distribution<std::size_t> binom(bits_per_trial,
+                                                  std::min(std::max(r.ber, 0.0), 1.0));
+    stats.errors += binom(rng.engine());
+    stats.bits += bits_per_trial;
+  }
+  stats.mean_snr_db = trials ? snr_acc / static_cast<double>(trials) : 0.0;
+  return stats;
+}
+
+double LinkBudget::max_range_m(double target_ber, std::size_t trials, common::Rng& rng,
+                               double max_range) const {
+  double lo = 1.0, hi = max_range;
+  // If even the minimum range fails, report zero; if the max passes, report it.
+  auto ber_at = [&](double r) {
+    common::Rng local = rng.child(static_cast<std::uint64_t>(r * 1000.0));
+    return monte_carlo(r, trials, 512, local).ber();
+  };
+  if (ber_at(lo) > target_ber) return 0.0;
+  if (ber_at(hi) <= target_ber) return hi;
+  for (int i = 0; i < 24; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ber_at(mid) <= target_ber)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace vab::sim

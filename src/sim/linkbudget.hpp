@@ -1,0 +1,68 @@
+// Analytic backscatter link budget + fading Monte-Carlo.
+//
+// The round-trip sonar equation for a modulated reflector:
+//   SNR_chip = SL - 2*TL(r) + TS_mod - (NSD + 10 log10(Rc))
+// where TS_mod = kElementTargetStrengthDb + 20 log10(modulation amplitude of
+// the array at the node's orientation). Long-range sweeps (E1, E3-E6) use
+// this model with lognormal fading; tests calibrate it against the full
+// waveform simulator at short range.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "sim/scenario.hpp"
+
+namespace vab::sim {
+
+struct LinkBudgetResult {
+  double tl_one_way_db = 0.0;
+  double received_at_node_db = 0.0;    ///< carrier SPL at the node
+  double modulated_return_db = 0.0;    ///< modulated-sideband SPL back at reader
+  double noise_in_band_db = 0.0;       ///< noise level in the chip bandwidth
+  double snr_chip_db = 0.0;
+  double ber = 0.0;
+};
+
+class LinkBudget {
+ public:
+  explicit LinkBudget(Scenario scenario);
+
+  /// Deterministic evaluation at `range_m` with an optional fading draw
+  /// (dB, applied to the round-trip signal).
+  LinkBudgetResult evaluate(double range_m, double fading_db = 0.0) const;
+
+  /// Carrier SPL at the node (for the energy-harvesting budget).
+  double carrier_spl_at_node(double range_m) const;
+
+  /// Modulation amplitude of the node's array toward the reader (linear,
+  /// relative to an ideal element).
+  double node_modulation_amplitude() const;
+
+  struct BerStats {
+    std::size_t bits = 0;
+    std::size_t errors = 0;
+    double mean_snr_db = 0.0;
+    double ber() const {
+      return bits ? static_cast<double>(errors) / static_cast<double>(bits) : 0.0;
+    }
+  };
+
+  /// Monte-Carlo over fading: `trials` packets of `bits_per_trial` bits,
+  /// drawing lognormal shadowing per packet and binomial bit errors.
+  BerStats monte_carlo(double range_m, std::size_t trials, std::size_t bits_per_trial,
+                       common::Rng& rng) const;
+
+  /// Largest range (m) where the fading-averaged BER stays below
+  /// `target_ber`, found by bisection over [1, max_range_m].
+  double max_range_m(double target_ber, std::size_t trials, common::Rng& rng,
+                     double max_range_m = 2000.0) const;
+
+  const Scenario& scenario() const { return scenario_; }
+
+ private:
+  Scenario scenario_;
+  vanatta::VanAttaArray array_;
+};
+
+}  // namespace vab::sim

@@ -1,0 +1,53 @@
+#include "sim/montecarlo.hpp"
+
+namespace vab::sim {
+
+std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec& ranges,
+                                           std::size_t trials, std::size_t bits_per_trial,
+                                           common::Rng& rng) {
+  const LinkBudget budget(scenario);
+  std::vector<SweepPoint> out;
+  out.reserve(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    common::Rng trial_rng = rng.child(i);
+    const auto stats = budget.monte_carlo(ranges[i], trials, bits_per_trial, trial_rng);
+    SweepPoint p;
+    p.range_m = ranges[i];
+    p.ber = stats.ber();
+    p.snr_db = stats.mean_snr_db;
+    p.bits = stats.bits;
+    p.errors = stats.errors;
+    out.push_back(p);
+  }
+  return out;
+}
+
+WaveformStats run_waveform_trials(const Scenario& scenario, std::size_t n_trials,
+                                  std::size_t payload_bits, common::Rng& rng) {
+  WaveformStats stats;
+  stats.trials = n_trials;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    common::Rng trial_rng = rng.child(t);
+    WaveformSimulator sim(scenario, trial_rng);
+    const bitvec payload = trial_rng.random_bits(payload_bits);
+    const auto res = sim.run_trial(payload);
+    stats.total_bits += payload_bits;
+    stats.bit_errors += res.bit_errors;
+    if (res.demod.sync_found) {
+      ++stats.frames_synced;
+      stats.mean_snr_db += res.demod.snr_db;
+      stats.mean_corr_peak += res.demod.corr_peak;
+      stats.mean_sic_suppression_db += res.demod.sic_suppression_db;
+    }
+    if (res.frame_ok) ++stats.frames_ok;
+  }
+  if (stats.frames_synced > 0) {
+    const auto n = static_cast<double>(stats.frames_synced);
+    stats.mean_snr_db /= n;
+    stats.mean_corr_peak /= n;
+    stats.mean_sic_suppression_db /= n;
+  }
+  return stats;
+}
+
+}  // namespace vab::sim

@@ -1,0 +1,48 @@
+// Trial orchestration: range sweeps on the analytic link budget and batch
+// waveform trials, with seeded reproducibility.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/linkbudget.hpp"
+#include "sim/scenario.hpp"
+#include "sim/waveform_sim.hpp"
+
+namespace vab::sim {
+
+struct SweepPoint {
+  double range_m = 0.0;
+  double ber = 0.0;
+  double snr_db = 0.0;
+  std::size_t bits = 0;
+  std::size_t errors = 0;
+};
+
+/// BER vs range using the link budget with fading Monte-Carlo.
+std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec& ranges,
+                                           std::size_t trials, std::size_t bits_per_trial,
+                                           common::Rng& rng);
+
+struct WaveformStats {
+  std::size_t trials = 0;
+  std::size_t frames_synced = 0;
+  std::size_t frames_ok = 0;
+  std::size_t total_bits = 0;
+  std::size_t bit_errors = 0;
+  double mean_snr_db = 0.0;
+  double mean_corr_peak = 0.0;
+  double mean_sic_suppression_db = 0.0;
+  double ber() const {
+    return total_bits ? static_cast<double>(bit_errors) / static_cast<double>(total_bits)
+                      : 0.0;
+  }
+};
+
+/// Runs `n_trials` full waveform trials with random payloads of
+/// `payload_bits` bits each.
+WaveformStats run_waveform_trials(const Scenario& scenario, std::size_t n_trials,
+                                  std::size_t payload_bits, common::Rng& rng);
+
+}  // namespace vab::sim

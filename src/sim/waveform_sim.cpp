@@ -1,0 +1,150 @@
+#include "sim/waveform_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "dsp/correlate.hpp"
+#include "dsp/mixer.hpp"
+#include "phy/coding.hpp"
+#include "phy/fec.hpp"
+
+namespace vab::sim {
+
+WaveformSimulator::WaveformSimulator(Scenario scenario, common::Rng& rng)
+    : scenario_(std::move(scenario)),
+      rng_(&rng),
+      array_(scenario_.node.array),
+      modulator_(scenario_.phy),
+      demodulator_(scenario_.phy) {
+  const double fc = scenario_.phy.carrier_hz;
+  const double theta = scenario_.node.orientation_rad;
+  const cplx r1 = array_.bistatic_response(theta, theta, fc, 1);
+  const cplx r0 = array_.bistatic_response(theta, theta, fc, 0);
+  const double ts0_lin = std::pow(10.0, kElementTargetStrengthDb / 20.0);
+  mod_amp_lin_ = ts0_lin * std::abs(r1 - r0) / 2.0;
+  static_amp_lin_ = scenario_.node.static_reflection_rel * mod_amp_lin_;
+}
+
+rvec WaveformSimulator::node_reflection_sequence(const bitvec& payload,
+                                                 std::size_t n_samples,
+                                                 std::size_t start_offset) const {
+  const bitvec states = modulator_.switch_waveform(payload);
+  const bitvec mask = modulator_.active_mask(payload.size());
+  const bool polarity =
+      scenario_.node.array.scheme == vanatta::ModulationScheme::kPolarity;
+
+  // Per-state signed levels such that the differential amplitude is
+  // mod_amp_lin_: polarity toggles +/-1, on-off toggles 0/2 around mean 1.
+  rvec coef(n_samples, static_amp_lin_);
+  for (std::size_t n = start_offset; n < n_samples; ++n) {
+    const std::size_t k = n - start_offset;
+    if (k >= states.size() || !mask[k]) continue;  // idle: absorptive
+    double level;
+    if (polarity) {
+      level = states[k] ? 1.0 : -1.0;
+    } else {
+      level = states[k] ? 2.0 : 0.0;
+    }
+    coef[n] += mod_amp_lin_ * level;
+  }
+  return coef;
+}
+
+WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
+  const auto& phy = scenario_.phy;
+  const double fs = phy.fs_hz;
+  const double c = scenario_.env.sound_speed();
+  const bitvec air_bits = phy::FrameCodec(scenario_.fec).encode(payload);
+
+  // Channel tap sets. Tap gains follow the scenario's spreading law so the
+  // waveform simulator and the analytic link budget agree on energetics.
+  const auto fwd_taps = forward_taps(scenario_);
+  const auto ret_taps = return_taps(scenario_);
+  const double sep = std::max(scenario_.reader.tx_rx_separation_m, 0.1);
+  const auto blast_tap_set = sim::blast_taps(scenario_);
+
+  // Transmit long enough to cover the node frame plus round-trip delays.
+  const std::size_t frame_len = modulator_.waveform_length(air_bits.size());
+  double max_delay = sep / c;
+  for (const auto& t : fwd_taps) max_delay = std::max(max_delay, t.delay_s);
+  double ret_delay = 0.0;
+  for (const auto& t : ret_taps) ret_delay = std::max(ret_delay, t.delay_s);
+  const auto n_tx =
+      frame_len +
+      static_cast<std::size_t>(std::ceil((2.0 * max_delay + ret_delay) * fs)) + 64;
+
+  const double spl = scenario_.reader.source_level_db;
+  const double amp = common::pressure_from_spl(spl) * std::sqrt(2.0);  // peak from rms
+  const rvec tx = dsp::make_tone(phy.carrier_hz, fs, n_tx, amp);
+
+  // Forward propagation (clean: the node is an analog reflector).
+  channel::WaveformChannelConfig fwd_cfg;
+  fwd_cfg.fs_hz = fs;
+  fwd_cfg.taps = fwd_taps;
+  fwd_cfg.add_noise = false;
+  fwd_cfg.sound_speed_mps = c;
+  fwd_cfg.fading_sigma_db = scenario_.env.fading_sigma_db / 2.0;  // per leg
+  fwd_cfg.surface_wave_amplitude_m = scenario_.env.surface_wave_amplitude_m;
+  fwd_cfg.surface_wave_period_s = scenario_.env.surface_wave_period_s;
+  channel::WaveformChannel fwd(fwd_cfg, *rng_);
+  const rvec incident = fwd.propagate_clean(tx);
+
+  // Node reflection: the node starts its frame once the carrier reaches it
+  // (carrier-detect trigger), i.e. after the direct forward delay.
+  double fwd_direct_delay = fwd_taps.front().delay_s;
+  for (const auto& t : fwd_taps) fwd_direct_delay = std::min(fwd_direct_delay, t.delay_s);
+  const auto node_start = static_cast<std::size_t>(std::ceil(fwd_direct_delay * fs));
+  const rvec coef = node_reflection_sequence(air_bits, incident.size(), node_start);
+  rvec reflected(incident.size());
+  for (std::size_t n = 0; n < incident.size(); ++n) reflected[n] = incident[n] * coef[n];
+
+  // Return propagation.
+  channel::WaveformChannelConfig ret_cfg = fwd_cfg;
+  ret_cfg.taps = ret_taps;
+  channel::WaveformChannel ret(ret_cfg, *rng_);
+  rvec rx = ret.propagate_clean(reflected);
+
+  // Direct projector blast.
+  channel::WaveformChannelConfig blast_cfg = fwd_cfg;
+  blast_cfg.taps = blast_tap_set;
+  blast_cfg.fading_sigma_db = 0.0;
+  channel::WaveformChannel blast(blast_cfg, *rng_);
+  const rvec blast_rx = blast.propagate_clean(tx);
+  if (blast_rx.size() > rx.size()) rx.resize(blast_rx.size(), 0.0);
+  for (std::size_t n = 0; n < blast_rx.size(); ++n) rx[n] += blast_rx[n];
+
+  // The reader captures only while the projector output is steady: starting
+  // the capture on the blast turn-on (or ending it on turn-off) would slam a
+  // ~90 dB step into the AC-coupled receive chain and ring over the frame.
+  const auto head = static_cast<std::size_t>(std::ceil(sep / c * fs)) + 256;
+  const std::size_t tail_end = std::min(rx.size(), n_tx);
+  if (head < tail_end) rx = rvec(rx.begin() + static_cast<std::ptrdiff_t>(head),
+                                 rx.begin() + static_cast<std::ptrdiff_t>(tail_end));
+
+  // Ambient noise at the hydrophone.
+  const rvec noise =
+      channel::synthesize_ambient_noise(rx.size(), fs, scenario_.env.noise, *rng_);
+  for (std::size_t n = 0; n < rx.size(); ++n) rx[n] += noise[n];
+
+  // Demodulate (and FEC-decode when the scenario runs coded).
+  WaveformTrialResult res;
+  res.tx_bits = payload;
+  const phy::FrameCodec codec(scenario_.fec);
+  res.demod = demodulator_.demodulate(rx, codec.coded_size(payload.size()));
+  if (res.demod.sync_found &&
+      res.demod.bits.size() == codec.coded_size(payload.size())) {
+    std::size_t corrected = 0;
+    const bitvec decoded = codec.decode(res.demod.bits, payload.size(), corrected);
+    res.fec_corrections = corrected;
+    res.bit_errors = phy::hamming_distance(decoded, payload);
+  } else {
+    res.bit_errors = payload.size();
+  }
+  res.frame_ok = res.demod.sync_found && res.bit_errors == 0;
+  res.incident_spl_at_node_db = common::spl_from_pressure(dsp::rms(incident));
+  return res;
+}
+
+}  // namespace vab::sim

@@ -1,0 +1,37 @@
+#include "vanatta/mismatch.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace vab::vanatta {
+
+MismatchResult mismatch_monte_carlo(const VanAttaConfig& cfg, double theta_rad,
+                                    double f_hz, double sigma_phase_rad,
+                                    double sigma_gain_db, std::size_t trials,
+                                    common::Rng& rng) {
+  const VanAttaArray clean(cfg);
+  const double clean_gain = clean.monostatic_gain_db(theta_rad, f_hz);
+
+  rvec losses;
+  losses.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    VanAttaArray noisy(cfg);
+    std::vector<double> ph(cfg.n_elements), g(cfg.n_elements);
+    for (std::size_t i = 0; i < cfg.n_elements; ++i) {
+      ph[i] = rng.gaussian(0.0, sigma_phase_rad);
+      g[i] = std::pow(10.0, rng.gaussian(0.0, sigma_gain_db) / 20.0);
+    }
+    noisy.set_phase_errors(std::move(ph));
+    noisy.set_gain_errors(std::move(g));
+    losses.push_back(clean_gain - noisy.monostatic_gain_db(theta_rad, f_hz));
+  }
+
+  MismatchResult r;
+  r.mean_loss_db = common::mean(losses);
+  r.p95_loss_db = common::percentile(losses, 95.0);
+  r.worst_loss_db = common::max_value(losses);
+  return r;
+}
+
+}  // namespace vab::vanatta

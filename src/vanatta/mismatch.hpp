@@ -1,0 +1,25 @@
+// Fabrication-tolerance Monte-Carlo (experiment E11): how much retro gain
+// survives per-element phase and gain errors — the analysis that justifies
+// the paper's equal-length-line requirement.
+#pragma once
+
+#include "common/rng.hpp"
+#include "vanatta/array.hpp"
+
+namespace vab::vanatta {
+
+struct MismatchResult {
+  double mean_loss_db = 0.0;   ///< mean retro-gain loss vs the clean array
+  double p95_loss_db = 0.0;    ///< 95th-percentile loss
+  double worst_loss_db = 0.0;
+};
+
+/// Runs `trials` random draws of per-element Gaussian phase error
+/// (`sigma_phase_rad`) and log-normal gain error (`sigma_gain_db`), measuring
+/// the monostatic gain at `theta` relative to the error-free array.
+MismatchResult mismatch_monte_carlo(const VanAttaConfig& cfg, double theta_rad,
+                                    double f_hz, double sigma_phase_rad,
+                                    double sigma_gain_db, std::size_t trials,
+                                    common::Rng& rng);
+
+}  // namespace vab::vanatta

@@ -1,0 +1,107 @@
+// Slotted-Aloha discovery: completeness, Q adaptation, loss resilience and
+// efficiency properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "net/discovery.hpp"
+
+namespace vab::net {
+namespace {
+
+std::vector<std::uint8_t> make_population(std::size_t n) {
+  std::vector<std::uint8_t> pop(n);
+  for (std::size_t i = 0; i < n; ++i) pop[i] = static_cast<std::uint8_t>(i + 1);
+  return pop;
+}
+
+TEST(Discovery, FindsEveryNode) {
+  common::Rng rng(1);
+  for (std::size_t n : {1u, 3u, 10u, 40u}) {
+    common::Rng local = rng.child(n);
+    const auto res = run_discovery(make_population(n), DiscoveryConfig{}, local);
+    EXPECT_TRUE(res.complete) << n << " nodes";
+    EXPECT_EQ(res.discovered.size(), n) << n << " nodes";
+  }
+}
+
+TEST(Discovery, SingleNodeIsFast) {
+  common::Rng rng(2);
+  const auto res = run_discovery(make_population(1), DiscoveryConfig{}, rng);
+  ASSERT_TRUE(res.complete);
+  EXPECT_LE(res.rounds.size(), 2u);
+}
+
+TEST(Discovery, QGrowsUnderCollisions) {
+  // 60 nodes into 4 initial slots: the first rounds are all collisions, so
+  // Q must climb before anything resolves.
+  common::Rng rng(3);
+  DiscoveryConfig cfg;
+  cfg.initial_q = 2;
+  const auto res = run_discovery(make_population(60), cfg, rng);
+  ASSERT_TRUE(res.complete);
+  std::uint8_t max_q = 0;
+  for (const auto& r : res.rounds) max_q = std::max(max_q, r.q);
+  EXPECT_GE(max_q, 5);  // needs ~2^6 slots for 60 nodes
+}
+
+TEST(Discovery, SlotAccountingConsistent) {
+  common::Rng rng(4);
+  const auto res = run_discovery(make_population(20), DiscoveryConfig{}, rng);
+  std::size_t sum = 0;
+  for (const auto& r : res.rounds) {
+    EXPECT_EQ(r.empties + r.singletons + r.collisions, r.slots);
+    sum += r.slots;
+  }
+  EXPECT_EQ(sum, res.total_slots);
+}
+
+TEST(Discovery, EfficiencyNearAlohaBound) {
+  // Averaged over seeds, framed slotted Aloha with adaptive Q should land
+  // within a factor ~2 of the 1/e optimum (i.e. <= ~6 slots per node).
+  common::Rng rng(5);
+  double total_spn = 0.0;
+  const int seeds = 10;
+  for (int s = 0; s < seeds; ++s) {
+    common::Rng local = rng.child(static_cast<std::uint64_t>(s));
+    const auto res = run_discovery(make_population(30), DiscoveryConfig{}, local);
+    EXPECT_TRUE(res.complete);
+    total_spn += res.slots_per_node();
+  }
+  const double avg = total_spn / seeds;
+  EXPECT_LT(avg, 2.0 / kAlohaOptimalEfficiency);
+  EXPECT_GT(avg, 1.0);  // can't beat one slot per node
+}
+
+TEST(Discovery, SurvivesReplyLoss) {
+  common::Rng rng(6);
+  DiscoveryConfig cfg;
+  cfg.reply_loss_prob = 0.3;
+  cfg.max_rounds = 128;
+  const auto res = run_discovery(make_population(15), cfg, rng);
+  EXPECT_TRUE(res.complete);
+  // Loss costs slots: must be worse than the lossless run.
+  common::Rng rng2(6);
+  const auto clean = run_discovery(make_population(15), DiscoveryConfig{}, rng2);
+  EXPECT_GE(res.total_slots, clean.total_slots);
+}
+
+TEST(Discovery, RoundLimitReported) {
+  common::Rng rng(7);
+  DiscoveryConfig cfg;
+  cfg.max_rounds = 1;
+  cfg.initial_q = 0;  // one slot for 20 nodes: guaranteed collision
+  const auto res = run_discovery(make_population(20), cfg, rng);
+  EXPECT_FALSE(res.complete);
+  EXPECT_EQ(res.rounds.size(), 1u);
+}
+
+TEST(Discovery, ValidatesInput) {
+  common::Rng rng(8);
+  EXPECT_THROW(run_discovery({}, DiscoveryConfig{}, rng), std::invalid_argument);
+  EXPECT_THROW(run_discovery({1, 1}, DiscoveryConfig{}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vab::net

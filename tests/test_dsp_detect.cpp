@@ -1,0 +1,164 @@
+// Correlation, Goertzel, LMS, AGC and spectral estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/agc.hpp"
+#include "dsp/correlate.hpp"
+#include "dsp/goertzel.hpp"
+#include "dsp/lms.hpp"
+#include "dsp/mixer.hpp"
+#include "dsp/spectrum.hpp"
+
+namespace vab::dsp {
+namespace {
+
+TEST(Correlate, FindsEmbeddedPattern) {
+  common::Rng rng(1);
+  cvec ref(40);
+  for (auto& v : ref) v = rng.complex_gaussian();
+  cvec sig(500);
+  for (auto& v : sig) v = 0.1 * rng.complex_gaussian();
+  const std::size_t at = 123;
+  for (std::size_t i = 0; i < ref.size(); ++i) sig[at + i] += ref[i];
+  const auto peak = find_peak(sig, ref, 0.5);
+  ASSERT_TRUE(peak.has_value());
+  EXPECT_EQ(peak->index, at);
+  EXPECT_GT(peak->value, 0.9);
+}
+
+TEST(Correlate, PhaseCarriedInRawValue) {
+  cvec ref(32, cplx{1.0, 0.0});
+  const cplx rot = std::exp(cplx{0.0, 0.7});
+  cvec sig(100);
+  for (std::size_t i = 0; i < ref.size(); ++i) sig[20 + i] = rot;
+  const auto peak = find_peak(sig, ref, 0.3);
+  ASSERT_TRUE(peak.has_value());
+  EXPECT_NEAR(std::arg(peak->raw), 0.7, 1e-6);
+}
+
+TEST(Correlate, BelowThresholdReturnsNothing) {
+  common::Rng rng(2);
+  cvec ref(32);
+  for (auto& v : ref) v = rng.complex_gaussian();
+  cvec noise(400);
+  for (auto& v : noise) v = rng.complex_gaussian();
+  EXPECT_FALSE(find_peak(noise, ref, 0.9).has_value());
+}
+
+TEST(Correlate, EnergyAndRms) {
+  const rvec x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(energy(x), 25.0);
+  EXPECT_NEAR(rms(x), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(rms(rvec{}), 0.0);
+}
+
+TEST(Goertzel, MatchesToneAmplitude) {
+  const double fs = 8000.0;
+  const rvec x = make_tone(440.0, fs, 4000, 2.0);
+  // Real tone of amplitude A has a single-bin complex coefficient ~A/2.
+  EXPECT_NEAR(std::abs(goertzel(x, 440.0, fs)), 1.0, 0.01);
+  EXPECT_LT(std::abs(goertzel(x, 1000.0, fs)), 0.02);
+}
+
+TEST(Goertzel, StreamingBlocksDetectTone) {
+  const double fs = 8000.0;
+  GoertzelDetector det(440.0, fs, 400);
+  const rvec x = make_tone(440.0, fs, 1200, 1.0);
+  int blocks = 0;
+  double power = 0.0;
+  for (double v : x)
+    if (det.push(v, power)) {
+      ++blocks;
+      EXPECT_NEAR(power, 0.25, 0.02);  // (A/2)^2
+    }
+  EXPECT_EQ(blocks, 3);
+}
+
+TEST(Lms, CancelsCorrelatedInterference) {
+  common::Rng rng(3);
+  LmsCanceller lms(4, 0.5);
+  // Interference = scaled/rotated copy of the reference; signal = small noise.
+  const cplx coupling{0.8, -0.3};
+  double residual_late = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const cplx ref = rng.complex_gaussian();
+    const cplx input = coupling * ref;
+    const cplx err = lms.process(input, ref);
+    if (i > 2500) residual_late += std::norm(err);
+  }
+  EXPECT_LT(residual_late / 500.0, 1e-4);
+}
+
+TEST(Lms, FreezeStopsAdaptation) {
+  LmsCanceller lms(2, 0.5);
+  lms.set_adapting(false);
+  for (int i = 0; i < 100; ++i) lms.process(cplx{1.0, 0.0}, cplx{1.0, 0.0});
+  for (const auto& w : lms.weights()) EXPECT_EQ(w, cplx{});
+}
+
+TEST(Lms, ParameterValidation) {
+  EXPECT_THROW(LmsCanceller(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(LmsCanceller(4, 2.5), std::invalid_argument);
+}
+
+TEST(Agc, ConvergesToTargetRms) {
+  common::Rng rng(4);
+  Agc agc(1.0, 10.0, 100.0);
+  double rms_acc = 0.0;
+  int count = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double y = agc.process(0.01 * rng.gaussian());
+    if (i > 4000) {
+      rms_acc += y * y;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(std::sqrt(rms_acc / count), 1.0, 0.35);
+}
+
+TEST(Agc, GainCapped) {
+  Agc agc(1.0, 1.0, 1.0, 100.0);
+  for (int i = 0; i < 100; ++i) agc.process(1e-9);
+  EXPECT_LE(agc.gain(), 100.0);
+}
+
+TEST(Welch, WhiteNoisePsdFlatAtCorrectLevel) {
+  common::Rng rng(5);
+  const double fs = 10000.0;
+  const double sigma = 0.5;
+  rvec x(200000);
+  for (auto& v : x) v = sigma * rng.gaussian();
+  const Psd psd = welch_psd(x, fs, 1024);
+  // White noise: PSD = sigma^2 / fs per Hz (one-sided doubles it except at DC).
+  const double expect_db = 10.0 * std::log10(2.0 * sigma * sigma / fs);
+  double acc = 0.0;
+  int cnt = 0;
+  for (std::size_t k = 10; k + 10 < psd.freq_hz.size(); ++k) {
+    acc += psd.power_db[k];
+    ++cnt;
+  }
+  EXPECT_NEAR(acc / cnt, expect_db, 0.5);
+}
+
+TEST(Welch, TonePeakAtCorrectFrequency) {
+  const double fs = 48000.0;
+  const rvec x = make_tone(1500.0, fs, 48000);
+  const Psd psd = welch_psd(x, fs, 2048);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < psd.power_db.size(); ++k)
+    if (psd.power_db[k] > psd.power_db[best]) best = k;
+  EXPECT_NEAR(psd.freq_hz[best], 1500.0, fs / 2048.0);
+}
+
+TEST(Welch, BandPowerIntegratesTone) {
+  const double fs = 48000.0;
+  const rvec x = make_tone(1500.0, fs, 96000, 2.0);  // power = A^2/2 = 2
+  const double p = band_power(x, fs, 1200.0, 1800.0, 2048);
+  EXPECT_NEAR(p, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace vab::dsp

@@ -1,0 +1,119 @@
+// FFT correctness against a direct DFT, convolution and correlation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/fft.hpp"
+
+namespace vab::dsp {
+namespace {
+
+cvec direct_dft(const cvec& x) {
+  const std::size_t n = x.size();
+  cvec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{};
+    for (std::size_t t = 0; t < n; ++t)
+      acc += x[t] * std::exp(cplx{0.0, -common::kTwoPi * static_cast<double>(k * t) /
+                                            static_cast<double>(n)});
+    out[k] = acc;
+  }
+  return out;
+}
+
+TEST(Fft, Pow2Helpers) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(1023), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_TRUE(is_pow2(256));
+  EXPECT_FALSE(is_pow2(255));
+  EXPECT_FALSE(is_pow2(0));
+}
+
+TEST(Fft, MatchesDirectDft) {
+  common::Rng rng(1);
+  cvec x(64);
+  for (auto& v : x) v = rng.complex_gaussian();
+  const cvec ref = direct_dft(x);
+  const cvec got = fft(x);
+  for (std::size_t k = 0; k < x.size(); ++k)
+    EXPECT_NEAR(std::abs(got[k] - ref[k]), 0.0, 1e-9) << "bin " << k;
+}
+
+TEST(Fft, InverseRoundTrip) {
+  common::Rng rng(2);
+  cvec x(256);
+  for (auto& v : x) v = rng.complex_gaussian();
+  const cvec y = ifft(fft(x));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+}
+
+TEST(Fft, ParsevalHolds) {
+  common::Rng rng(3);
+  cvec x(512);
+  for (auto& v : x) v = rng.complex_gaussian();
+  double time_e = 0.0;
+  for (const auto& v : x) time_e += std::norm(v);
+  const cvec spec = fft(x);
+  double freq_e = 0.0;
+  for (const auto& v : spec) freq_e += std::norm(v);
+  EXPECT_NEAR(freq_e / static_cast<double>(x.size()), time_e, 1e-6 * time_e);
+}
+
+TEST(Fft, ToneLandsInCorrectBin) {
+  const std::size_t n = 1024;
+  cvec x(n);
+  const std::size_t bin = 37;
+  for (std::size_t t = 0; t < n; ++t)
+    x[t] = std::exp(cplx{0.0, common::kTwoPi * static_cast<double>(bin * t) /
+                              static_cast<double>(n)});
+  const cvec spec = fft(x);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < n; ++k)
+    if (std::abs(spec[k]) > std::abs(spec[best])) best = k;
+  EXPECT_EQ(best, bin);
+  EXPECT_NEAR(std::abs(spec[bin]), static_cast<double>(n), 1e-6);
+}
+
+TEST(Fft, NonPow2InputIsZeroPadded) {
+  cvec x(100, cplx{1.0, 0.0});
+  const cvec spec = fft(x);
+  EXPECT_EQ(spec.size(), 128u);
+}
+
+TEST(Fft, ThrowsOnNonPow2Inplace) {
+  cvec x(100);
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+}
+
+TEST(FftConvolve, MatchesDirectConvolution) {
+  const rvec a{1, 2, 3, 4};
+  const rvec b{0.5, -1, 2};
+  const rvec got = fft_convolve(a, b);
+  ASSERT_EQ(got.size(), a.size() + b.size() - 1);
+  rvec ref(got.size(), 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) ref[i + j] += a[i] * b[j];
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-10);
+}
+
+TEST(FftXcorr, PeakAtTrueLag) {
+  common::Rng rng(4);
+  cvec ref(32);
+  for (auto& v : ref) v = rng.complex_gaussian();
+  cvec sig(128, cplx{});
+  const std::size_t offset = 41;
+  for (std::size_t i = 0; i < ref.size(); ++i) sig[offset + i] = ref[i];
+  const cvec corr = fft_xcorr(sig, ref);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < corr.size(); ++k)
+    if (std::abs(corr[k]) > std::abs(corr[best])) best = k;
+  // Lag 0 sits at index ref.size()-1; the match is at offset.
+  EXPECT_EQ(best, ref.size() - 1 + offset);
+}
+
+}  // namespace
+}  // namespace vab::dsp

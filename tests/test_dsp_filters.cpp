@@ -1,0 +1,210 @@
+// FIR/IIR design and filtering, windows, resampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/iir.hpp"
+#include "dsp/mixer.hpp"
+#include "dsp/resample.hpp"
+#include "dsp/window.hpp"
+
+namespace vab::dsp {
+namespace {
+
+TEST(Window, BasicProperties) {
+  for (auto type : {WindowType::kHann, WindowType::kHamming, WindowType::kBlackman,
+                    WindowType::kKaiser}) {
+    const rvec w = make_window(type, 65);
+    ASSERT_EQ(w.size(), 65u);
+    // Symmetric and peaked at the center.
+    for (std::size_t i = 0; i < w.size(); ++i)
+      EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    EXPECT_NEAR(w[32], type == WindowType::kHamming ? 1.0 : 1.0, 1e-9);
+  }
+}
+
+TEST(Window, BesselI0KnownValues) {
+  EXPECT_NEAR(bessel_i0(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(bessel_i0(1.0), 1.2660658, 1e-6);
+  EXPECT_NEAR(bessel_i0(5.0), 27.239872, 1e-4);
+}
+
+TEST(Fir, LowpassPassesAndStops) {
+  const double fs = 96000.0;
+  const rvec h = design_lowpass(2000.0, fs, 127);
+  EXPECT_NEAR(fir_response_at(h, 100.0, fs), 1.0, 0.01);
+  EXPECT_NEAR(fir_response_at(h, 1000.0, fs), 1.0, 0.05);
+  EXPECT_LT(fir_response_at(h, 8000.0, fs), 0.01);
+}
+
+TEST(Fir, KaiserDeepStopband) {
+  const double fs = 96000.0;
+  const rvec h = design_lowpass(2500.0, fs, 255, WindowType::kKaiser, 12.0);
+  // The -2fc image at 37 kHz must be crushed (see the modem design note).
+  EXPECT_LT(fir_response_at(h, 37000.0, fs), 3e-5);
+}
+
+TEST(Fir, HighpassComplement) {
+  const double fs = 48000.0;
+  const rvec h = design_highpass(1000.0, fs, 101);
+  EXPECT_LT(fir_response_at(h, 50.0, fs), 0.02);
+  EXPECT_NEAR(fir_response_at(h, 10000.0, fs), 1.0, 0.02);
+}
+
+TEST(Fir, BandpassSelects) {
+  const double fs = 96000.0;
+  const rvec h = design_bandpass(16000.0, 21000.0, fs, 255);
+  EXPECT_NEAR(fir_response_at(h, 18500.0, fs), 1.0, 0.05);
+  EXPECT_LT(fir_response_at(h, 5000.0, fs), 0.01);
+  EXPECT_LT(fir_response_at(h, 40000.0, fs), 0.01);
+}
+
+TEST(Fir, BandstopRejectsCenter) {
+  const double fs = 96000.0;
+  const rvec h = design_bandstop(18000.0, 19000.0, fs, 255);
+  EXPECT_LT(fir_response_at(h, 18500.0, fs), 0.05);
+  EXPECT_NEAR(fir_response_at(h, 5000.0, fs), 1.0, 0.03);
+}
+
+TEST(Fir, StreamingMatchesBatchAndResets) {
+  common::Rng rng(1);
+  const rvec h = design_lowpass(4000.0, 48000.0, 31);
+  FirFilter f1(h), f2(h);
+  rvec x(200);
+  for (auto& v : x) v = rng.gaussian();
+  const rvec batch = f1.process(x);
+  // Chunked processing must match.
+  rvec chunked;
+  for (std::size_t i = 0; i < x.size(); i += 17) {
+    const rvec part(x.begin() + static_cast<std::ptrdiff_t>(i),
+                    x.begin() + static_cast<std::ptrdiff_t>(std::min(i + 17, x.size())));
+    const rvec y = f2.process(part);
+    chunked.insert(chunked.end(), y.begin(), y.end());
+  }
+  ASSERT_EQ(batch.size(), chunked.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) EXPECT_NEAR(batch[i], chunked[i], 1e-12);
+  f2.reset();
+  EXPECT_NEAR(f2.process(1.0), h[0], 1e-12);
+}
+
+TEST(Fir, InvalidDesignThrows) {
+  EXPECT_THROW(design_lowpass(0.0, 48000.0, 31), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(30000.0, 48000.0, 31), std::invalid_argument);
+  EXPECT_THROW(design_bandpass(5000.0, 1000.0, 48000.0, 31), std::invalid_argument);
+  EXPECT_THROW(FirFilter(rvec{}), std::invalid_argument);
+}
+
+TEST(Biquad, LowpassResponse) {
+  const double fs = 48000.0;
+  Biquad lp = Biquad::lowpass(1000.0, fs);
+  EXPECT_NEAR(lp.response_at(10.0, fs), 1.0, 0.01);
+  EXPECT_NEAR(lp.response_at(1000.0, fs), 0.7071, 0.02);
+  EXPECT_LT(lp.response_at(20000.0, fs), 0.01);
+}
+
+TEST(Biquad, NotchKillsCenterOnly) {
+  const double fs = 96000.0;
+  Biquad n = Biquad::notch(18500.0, fs, 30.0);
+  EXPECT_LT(n.response_at(18500.0, fs), 1e-6);
+  EXPECT_NEAR(n.response_at(17000.0, fs), 1.0, 0.05);
+  EXPECT_NEAR(n.response_at(20000.0, fs), 1.0, 0.05);
+}
+
+TEST(Biquad, BandpassPeaksAtCenter) {
+  const double fs = 96000.0;
+  Biquad bp = Biquad::bandpass(18500.0, fs, 10.0);
+  EXPECT_NEAR(bp.response_at(18500.0, fs), 1.0, 0.02);
+  EXPECT_LT(bp.response_at(10000.0, fs), 0.25);
+}
+
+TEST(Biquad, CascadeAndReset) {
+  const double fs = 48000.0;
+  BiquadCascade cas;
+  cas.push(Biquad::lowpass(2000.0, fs));
+  cas.push(Biquad::lowpass(2000.0, fs));
+  EXPECT_EQ(cas.size(), 2u);
+  // Two cascaded LPFs attenuate twice as much in dB.
+  const double single = Biquad::lowpass(2000.0, fs).response_at(8000.0, fs);
+  rvec impulse(512, 0.0);
+  impulse[0] = 1.0;
+  const rvec h = cas.process(impulse);
+  // Frequency response of cascade at 8 kHz from the impulse response.
+  cplx acc{};
+  for (std::size_t n = 0; n < h.size(); ++n)
+    acc += h[n] * std::exp(cplx{0.0, -common::kTwoPi * 8000.0 * static_cast<double>(n) / fs});
+  EXPECT_NEAR(std::abs(acc), single * single, 0.01);
+}
+
+TEST(DcBlocker, RemovesDcKeepsSignal) {
+  DcBlocker dc(0.995);
+  double out = 0.0;
+  for (int i = 0; i < 5000; ++i) out = dc.process(1.0);
+  EXPECT_NEAR(out, 0.0, 1e-3);
+}
+
+TEST(OnePole, StepResponseTimeConstant) {
+  const double fs = 1000.0;
+  OnePole lp(10.0, fs);
+  // After one time constant (fs / (2 pi fc) samples) the step reaches ~63%.
+  const int tau = static_cast<int>(fs / (common::kTwoPi * 10.0));
+  double y = 0.0;
+  for (int i = 0; i < tau; ++i) y = lp.process(1.0);
+  EXPECT_NEAR(y, 0.63, 0.05);
+}
+
+TEST(Resample, DecimateKeepsLowFrequency) {
+  const double fs = 96000.0;
+  const rvec x = make_tone(500.0, fs, 9600);
+  const rvec y = decimate(x, 8);
+  ASSERT_NEAR(static_cast<double>(y.size()), 1200.0, 2.0);
+  // Tone RMS preserved (0.707 for unit sine), ignoring filter edges.
+  double e = 0.0;
+  for (std::size_t i = 200; i < y.size(); ++i) e += y[i] * y[i];
+  EXPECT_NEAR(std::sqrt(e / static_cast<double>(y.size() - 200)), 0.707, 0.03);
+}
+
+TEST(Resample, LinearRatioAndValues) {
+  rvec x{0.0, 1.0, 2.0, 3.0, 4.0};
+  const rvec y = resample_linear(x, 1.0, 2.0);
+  ASSERT_GE(y.size(), 8u);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_NEAR(y[4], 2.0, 1e-12);
+}
+
+TEST(Resample, SampleAtClampsEnds) {
+  rvec x{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(sample_at(x, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample_at(x, 10.0), 3.0);
+  EXPECT_NEAR(sample_at(x, 0.5), 1.5, 1e-12);
+}
+
+TEST(Nco, PhaseContinuityAcrossChunks) {
+  Nco a(18500.0, 96000.0);
+  rvec whole(100);
+  for (auto& v : whole) v = a.next_cos();
+  Nco b(18500.0, 96000.0);
+  for (int i = 0; i < 50; ++i) b.next_cos();
+  for (int i = 50; i < 100; ++i) EXPECT_NEAR(b.next_cos(), whole[static_cast<std::size_t>(i)], 1e-12);
+}
+
+TEST(Mixer, UpDownRoundTripRecoversBaseband) {
+  const double fs = 96000.0;
+  common::Rng rng(2);
+  // Slow complex baseband.
+  cvec bbin(4000);
+  for (std::size_t i = 0; i < bbin.size(); ++i)
+    bbin[i] = cplx{std::cos(0.002 * static_cast<double>(i)), 0.3};
+  const rvec pass = upconvert(bbin, 18500.0, fs);
+  cvec bbout = downconvert(pass, 18500.0, fs);
+  FirFilter lp(design_lowpass(3000.0, fs, 127));
+  bbout = lp.process(bbout);
+  // Downconversion halves the amplitude (image removed by LPF).
+  for (std::size_t i = 500; i < 3500; i += 100)
+    EXPECT_NEAR(std::abs(2.0 * bbout[i] - bbin[i - 63]), 0.0, 0.05);
+}
+
+}  // namespace
+}  // namespace vab::dsp

@@ -1,0 +1,162 @@
+// Ray tracing against image-method ground truth, refraction behaviour, and
+// storage-capacitor dynamics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/multipath.hpp"
+#include "channel/raytrace.hpp"
+#include "core/energy.hpp"
+
+namespace vab {
+namespace {
+
+using channel::RayTraceConfig;
+using channel::SoundSpeedProfile;
+
+RayTraceConfig rt_config() {
+  RayTraceConfig cfg;
+  cfg.water_depth_m = 20.0;
+  cfg.max_bounces = 2;
+  cfg.n_rays = 801;
+  cfg.step_m = 0.5;
+  cfg.capture_tolerance_m = 0.75;
+  return cfg;
+}
+
+TEST(RayTrace, IsovelocityMatchesImageMethodDirectPath) {
+  const SoundSpeedProfile iso(1500.0);
+  const auto arrivals = channel::trace_eigenrays(200.0, 5.0, 10.0, iso, rt_config());
+  ASSERT_FALSE(arrivals.empty());
+  // First arrival = direct path; compare to straight-line geometry.
+  const double direct_r = std::sqrt(200.0 * 200.0 + 25.0);
+  // Step-size discretization bounds the accuracy to ~0.3%.
+  EXPECT_NEAR(arrivals.front().delay_s, direct_r / 1500.0, 5e-4);
+  EXPECT_EQ(arrivals.front().surface_bounces, 0);
+  EXPECT_EQ(arrivals.front().bottom_bounces, 0);
+}
+
+TEST(RayTrace, IsovelocityBounceDelaysMatchImageMethod) {
+  const SoundSpeedProfile iso(1500.0);
+  const auto rays = channel::trace_eigenrays(150.0, 5.0, 10.0, iso, rt_config());
+
+  channel::MultipathConfig mp;
+  mp.water_depth_m = 20.0;
+  mp.max_order = 2;
+  const auto images = channel::image_method_taps(150.0, 5.0, 10.0, 1500.0, mp);
+
+  // Each traced bounce combination should match an image-method tap delay.
+  for (const auto& ray : rays) {
+    bool matched = false;
+    for (const auto& img : images) {
+      if (img.surface_bounces == ray.surface_bounces &&
+          img.bottom_bounces == ray.bottom_bounces &&
+          std::abs(img.delay_s - ray.delay_s) < 5e-4)
+        matched = true;
+    }
+    EXPECT_TRUE(matched) << "s=" << ray.surface_bounces << " b=" << ray.bottom_bounces
+                         << " delay=" << ray.delay_s;
+  }
+}
+
+TEST(RayTrace, SurfaceBounceFlipsSign) {
+  const SoundSpeedProfile iso(1500.0);
+  const auto rays = channel::trace_eigenrays(100.0, 5.0, 10.0, iso, rt_config());
+  for (const auto& r : rays) {
+    if (r.surface_bounces % 2 == 1)
+      EXPECT_LT(r.gain, 0.0);
+    else
+      EXPECT_GT(r.gain, 0.0);
+  }
+}
+
+TEST(RayTrace, DownwardRefractionBendsRaysDown) {
+  // Speed decreasing with depth bends rays downward (toward lower speed):
+  // a horizontally-launched ray ends deeper than it started.
+  const SoundSpeedProfile down({0.0, 20.0}, {1520.0, 1480.0});
+  RayTraceConfig cfg = rt_config();
+  cfg.max_bounces = 0;            // kill boundary interactions
+  cfg.capture_tolerance_m = 20.0;  // capture anything that survives
+  cfg.max_launch_deg = 0.5;       // near-horizontal fan
+  cfg.n_rays = 3;
+  // Curvature radius c/|dc/dz| = 750 m: over 150 m the ray drops ~15 m,
+  // staying inside the 20 m column.
+  const auto rays = channel::trace_eigenrays(150.0, 5.0, 10.0, down, cfg);
+  ASSERT_FALSE(rays.empty());
+  // Arrival angle points downward for the surviving near-horizontal rays.
+  for (const auto& r : rays) EXPECT_GT(r.arrival_angle_rad, 0.0);
+}
+
+TEST(RayTrace, TapsConversion) {
+  const SoundSpeedProfile iso(1500.0);
+  const auto rays = channel::trace_eigenrays(100.0, 5.0, 10.0, iso, rt_config());
+  const auto taps = channel::taps_from_arrivals(rays);
+  ASSERT_EQ(taps.size(), rays.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(taps[i].delay_s, rays[i].delay_s);
+    EXPECT_DOUBLE_EQ(taps[i].gain, rays[i].gain);
+  }
+}
+
+TEST(RayTrace, ValidatesGeometry) {
+  const SoundSpeedProfile iso(1500.0);
+  EXPECT_THROW(channel::trace_eigenrays(-5.0, 5.0, 10.0, iso, rt_config()),
+               std::invalid_argument);
+  EXPECT_THROW(channel::trace_eigenrays(100.0, 50.0, 10.0, iso, rt_config()),
+               std::invalid_argument);
+}
+
+TEST(Capacitor, VoltageEnergyRelation) {
+  core::CapacitorConfig cfg;
+  cfg.capacitance_f = 0.1;
+  cfg.initial_voltage_v = 2.5;
+  core::StorageCapacitor cap(cfg);
+  EXPECT_NEAR(cap.voltage(), 2.5, 1e-9);
+  EXPECT_NEAR(cap.energy_j(), 0.5 * 0.1 * 2.5 * 2.5, 1e-9);
+}
+
+TEST(Capacitor, ChargeClampsAtMax) {
+  core::CapacitorConfig cfg;
+  core::StorageCapacitor cap(cfg);
+  cap.charge(1000.0, 1000.0);  // absurd input
+  EXPECT_NEAR(cap.voltage(), cfg.max_voltage_v, 1e-9);
+}
+
+TEST(Capacitor, DrawUntilBrownout) {
+  core::CapacitorConfig cfg;
+  cfg.capacitance_f = 0.01;
+  cfg.initial_voltage_v = 2.5;
+  cfg.brownout_voltage_v = 1.8;
+  core::StorageCapacitor cap(cfg);
+  const double usable = cap.usable_energy_j();
+  // Draw slightly less than usable: survives.
+  EXPECT_TRUE(cap.draw(usable * 0.9, 1.0));
+  EXPECT_FALSE(cap.browned_out());
+  // Draw past the floor: brownout, voltage pinned at threshold.
+  EXPECT_FALSE(cap.draw(usable, 1.0));
+  EXPECT_TRUE(cap.browned_out());
+  EXPECT_NEAR(cap.voltage(), 1.8, 1e-9);
+  // Recharging above threshold clears the brownout.
+  cap.charge(1.0, 1.0);
+  EXPECT_FALSE(cap.browned_out());
+}
+
+TEST(Capacitor, EnduranceFormula) {
+  core::CapacitorConfig cfg;
+  cfg.capacitance_f = 0.1;
+  cfg.max_voltage_v = 2.7;
+  cfg.brownout_voltage_v = 1.8;
+  // Usable energy = 0.5*0.1*(2.7^2-1.8^2) = 0.2025 J; at net 10 uW drain:
+  const double t = core::endurance_s(cfg, 15e-6, 5e-6);
+  EXPECT_NEAR(t, 0.5 * 0.1 * (2.7 * 2.7 - 1.8 * 1.8) / 10e-6, 1.0);
+  EXPECT_TRUE(std::isinf(core::endurance_s(cfg, 5e-6, 10e-6)));
+}
+
+TEST(Capacitor, ValidatesConfig) {
+  core::CapacitorConfig bad;
+  bad.brownout_voltage_v = 3.0;
+  EXPECT_THROW(core::StorageCapacitor{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vab
