@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_array_scaling"
+  "../bench/fig_array_scaling.pdb"
+  "CMakeFiles/fig_array_scaling.dir/fig_array_scaling.cpp.o"
+  "CMakeFiles/fig_array_scaling.dir/fig_array_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_array_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

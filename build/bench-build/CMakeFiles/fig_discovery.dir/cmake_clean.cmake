@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_discovery"
+  "../bench/fig_discovery.pdb"
+  "CMakeFiles/fig_discovery.dir/fig_discovery.cpp.o"
+  "CMakeFiles/fig_discovery.dir/fig_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

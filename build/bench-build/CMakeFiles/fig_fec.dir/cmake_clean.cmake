@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_fec"
+  "../bench/fig_fec.pdb"
+  "CMakeFiles/fig_fec.dir/fig_fec.cpp.o"
+  "CMakeFiles/fig_fec.dir/fig_fec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_line_codes"
+  "../bench/fig_line_codes.pdb"
+  "CMakeFiles/fig_line_codes.dir/fig_line_codes.cpp.o"
+  "CMakeFiles/fig_line_codes.dir/fig_line_codes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_line_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

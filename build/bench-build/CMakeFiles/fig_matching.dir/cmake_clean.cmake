@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_matching"
+  "../bench/fig_matching.pdb"
+  "CMakeFiles/fig_matching.dir/fig_matching.cpp.o"
+  "CMakeFiles/fig_matching.dir/fig_matching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_mismatch"
+  "../bench/fig_mismatch.pdb"
+  "CMakeFiles/fig_mismatch.dir/fig_mismatch.cpp.o"
+  "CMakeFiles/fig_mismatch.dir/fig_mismatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

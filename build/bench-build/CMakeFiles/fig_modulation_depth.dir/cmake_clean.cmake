@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_modulation_depth"
+  "../bench/fig_modulation_depth.pdb"
+  "CMakeFiles/fig_modulation_depth.dir/fig_modulation_depth.cpp.o"
+  "CMakeFiles/fig_modulation_depth.dir/fig_modulation_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_modulation_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

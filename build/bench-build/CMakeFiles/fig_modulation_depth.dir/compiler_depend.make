@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_modulation_depth.
+# This may be replaced when dependencies are built.

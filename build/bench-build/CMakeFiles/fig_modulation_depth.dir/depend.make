@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_modulation_depth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_network"
+  "../bench/fig_network.pdb"
+  "CMakeFiles/fig_network.dir/fig_network.cpp.o"
+  "CMakeFiles/fig_network.dir/fig_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_ocean"
+  "../bench/fig_ocean.pdb"
+  "CMakeFiles/fig_ocean.dir/fig_ocean.cpp.o"
+  "CMakeFiles/fig_ocean.dir/fig_ocean.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

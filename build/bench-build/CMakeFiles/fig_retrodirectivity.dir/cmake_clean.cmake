@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_retrodirectivity"
+  "../bench/fig_retrodirectivity.pdb"
+  "CMakeFiles/fig_retrodirectivity.dir/fig_retrodirectivity.cpp.o"
+  "CMakeFiles/fig_retrodirectivity.dir/fig_retrodirectivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_retrodirectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_retrodirectivity.
+# This may be replaced when dependencies are built.

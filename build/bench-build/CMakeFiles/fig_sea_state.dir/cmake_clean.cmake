@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_sea_state"
+  "../bench/fig_sea_state.pdb"
+  "CMakeFiles/fig_sea_state.dir/fig_sea_state.cpp.o"
+  "CMakeFiles/fig_sea_state.dir/fig_sea_state.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sea_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

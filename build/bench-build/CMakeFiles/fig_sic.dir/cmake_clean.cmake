@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_sic"
+  "../bench/fig_sic.pdb"
+  "CMakeFiles/fig_sic.dir/fig_sic.cpp.o"
+  "CMakeFiles/fig_sic.dir/fig_sic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_throughput"
+  "../bench/fig_throughput.pdb"
+  "CMakeFiles/fig_throughput.dir/fig_throughput.cpp.o"
+  "CMakeFiles/fig_throughput.dir/fig_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

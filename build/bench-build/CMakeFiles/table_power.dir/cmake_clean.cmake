@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_power"
+  "../bench/table_power.pdb"
+  "CMakeFiles/table_power.dir/table_power.cpp.o"
+  "CMakeFiles/table_power.dir/table_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coastal_monitoring.dir/coastal_monitoring.cpp.o"
+  "CMakeFiles/coastal_monitoring.dir/coastal_monitoring.cpp.o.d"
+  "coastal_monitoring"
+  "coastal_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coastal_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

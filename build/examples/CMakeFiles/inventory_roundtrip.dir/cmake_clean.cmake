@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_roundtrip.dir/inventory_roundtrip.cpp.o"
+  "CMakeFiles/inventory_roundtrip.dir/inventory_roundtrip.cpp.o.d"
+  "inventory_roundtrip"
+  "inventory_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_survey.dir/ocean_survey.cpp.o"
+  "CMakeFiles/ocean_survey.dir/ocean_survey.cpp.o.d"
+  "ocean_survey"
+  "ocean_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/absorption.cpp" "src/channel/CMakeFiles/vab_channel.dir/absorption.cpp.o" "gcc" "src/channel/CMakeFiles/vab_channel.dir/absorption.cpp.o.d"
+  "/root/repo/src/channel/multipath.cpp" "src/channel/CMakeFiles/vab_channel.dir/multipath.cpp.o" "gcc" "src/channel/CMakeFiles/vab_channel.dir/multipath.cpp.o.d"
+  "/root/repo/src/channel/noise.cpp" "src/channel/CMakeFiles/vab_channel.dir/noise.cpp.o" "gcc" "src/channel/CMakeFiles/vab_channel.dir/noise.cpp.o.d"
+  "/root/repo/src/channel/raytrace.cpp" "src/channel/CMakeFiles/vab_channel.dir/raytrace.cpp.o" "gcc" "src/channel/CMakeFiles/vab_channel.dir/raytrace.cpp.o.d"
+  "/root/repo/src/channel/soundspeed.cpp" "src/channel/CMakeFiles/vab_channel.dir/soundspeed.cpp.o" "gcc" "src/channel/CMakeFiles/vab_channel.dir/soundspeed.cpp.o.d"
+  "/root/repo/src/channel/spreading.cpp" "src/channel/CMakeFiles/vab_channel.dir/spreading.cpp.o" "gcc" "src/channel/CMakeFiles/vab_channel.dir/spreading.cpp.o.d"
+  "/root/repo/src/channel/waveform_channel.cpp" "src/channel/CMakeFiles/vab_channel.dir/waveform_channel.cpp.o" "gcc" "src/channel/CMakeFiles/vab_channel.dir/waveform_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vab_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

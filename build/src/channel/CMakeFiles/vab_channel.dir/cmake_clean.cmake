@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_channel.dir/absorption.cpp.o"
+  "CMakeFiles/vab_channel.dir/absorption.cpp.o.d"
+  "CMakeFiles/vab_channel.dir/multipath.cpp.o"
+  "CMakeFiles/vab_channel.dir/multipath.cpp.o.d"
+  "CMakeFiles/vab_channel.dir/noise.cpp.o"
+  "CMakeFiles/vab_channel.dir/noise.cpp.o.d"
+  "CMakeFiles/vab_channel.dir/raytrace.cpp.o"
+  "CMakeFiles/vab_channel.dir/raytrace.cpp.o.d"
+  "CMakeFiles/vab_channel.dir/soundspeed.cpp.o"
+  "CMakeFiles/vab_channel.dir/soundspeed.cpp.o.d"
+  "CMakeFiles/vab_channel.dir/spreading.cpp.o"
+  "CMakeFiles/vab_channel.dir/spreading.cpp.o.d"
+  "CMakeFiles/vab_channel.dir/waveform_channel.cpp.o"
+  "CMakeFiles/vab_channel.dir/waveform_channel.cpp.o.d"
+  "libvab_channel.a"
+  "libvab_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

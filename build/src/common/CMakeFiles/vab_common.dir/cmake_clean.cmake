@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_common.dir/config.cpp.o"
+  "CMakeFiles/vab_common.dir/config.cpp.o.d"
+  "CMakeFiles/vab_common.dir/linalg.cpp.o"
+  "CMakeFiles/vab_common.dir/linalg.cpp.o.d"
+  "CMakeFiles/vab_common.dir/log.cpp.o"
+  "CMakeFiles/vab_common.dir/log.cpp.o.d"
+  "CMakeFiles/vab_common.dir/rng.cpp.o"
+  "CMakeFiles/vab_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vab_common.dir/stats.cpp.o"
+  "CMakeFiles/vab_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vab_common.dir/table.cpp.o"
+  "CMakeFiles/vab_common.dir/table.cpp.o.d"
+  "CMakeFiles/vab_common.dir/units.cpp.o"
+  "CMakeFiles/vab_common.dir/units.cpp.o.d"
+  "libvab_common.a"
+  "libvab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_core.dir/energy.cpp.o"
+  "CMakeFiles/vab_core.dir/energy.cpp.o.d"
+  "CMakeFiles/vab_core.dir/fieldtrial.cpp.o"
+  "CMakeFiles/vab_core.dir/fieldtrial.cpp.o.d"
+  "CMakeFiles/vab_core.dir/node.cpp.o"
+  "CMakeFiles/vab_core.dir/node.cpp.o.d"
+  "CMakeFiles/vab_core.dir/reader.cpp.o"
+  "CMakeFiles/vab_core.dir/reader.cpp.o.d"
+  "CMakeFiles/vab_core.dir/system.cpp.o"
+  "CMakeFiles/vab_core.dir/system.cpp.o.d"
+  "libvab_core.a"
+  "libvab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_dsp.dir/agc.cpp.o"
+  "CMakeFiles/vab_dsp.dir/agc.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/correlate.cpp.o"
+  "CMakeFiles/vab_dsp.dir/correlate.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/fft.cpp.o"
+  "CMakeFiles/vab_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/fir.cpp.o"
+  "CMakeFiles/vab_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/vab_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/iir.cpp.o"
+  "CMakeFiles/vab_dsp.dir/iir.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/lms.cpp.o"
+  "CMakeFiles/vab_dsp.dir/lms.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/mixer.cpp.o"
+  "CMakeFiles/vab_dsp.dir/mixer.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/resample.cpp.o"
+  "CMakeFiles/vab_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/vab_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/vab_dsp.dir/window.cpp.o"
+  "CMakeFiles/vab_dsp.dir/window.cpp.o.d"
+  "libvab_dsp.a"
+  "libvab_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/app.cpp" "src/net/CMakeFiles/vab_net.dir/app.cpp.o" "gcc" "src/net/CMakeFiles/vab_net.dir/app.cpp.o.d"
+  "/root/repo/src/net/discovery.cpp" "src/net/CMakeFiles/vab_net.dir/discovery.cpp.o" "gcc" "src/net/CMakeFiles/vab_net.dir/discovery.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/vab_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/vab_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/vab_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/vab_net.dir/mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/vab_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vab_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_net.dir/app.cpp.o"
+  "CMakeFiles/vab_net.dir/app.cpp.o.d"
+  "CMakeFiles/vab_net.dir/discovery.cpp.o"
+  "CMakeFiles/vab_net.dir/discovery.cpp.o.d"
+  "CMakeFiles/vab_net.dir/frame.cpp.o"
+  "CMakeFiles/vab_net.dir/frame.cpp.o.d"
+  "CMakeFiles/vab_net.dir/mac.cpp.o"
+  "CMakeFiles/vab_net.dir/mac.cpp.o.d"
+  "libvab_net.a"
+  "libvab_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

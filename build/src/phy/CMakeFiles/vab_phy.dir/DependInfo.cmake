@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/ber.cpp" "src/phy/CMakeFiles/vab_phy.dir/ber.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/ber.cpp.o.d"
+  "/root/repo/src/phy/coding.cpp" "src/phy/CMakeFiles/vab_phy.dir/coding.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/coding.cpp.o.d"
+  "/root/repo/src/phy/equalizer.cpp" "src/phy/CMakeFiles/vab_phy.dir/equalizer.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/equalizer.cpp.o.d"
+  "/root/repo/src/phy/fec.cpp" "src/phy/CMakeFiles/vab_phy.dir/fec.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/fec.cpp.o.d"
+  "/root/repo/src/phy/fm0.cpp" "src/phy/CMakeFiles/vab_phy.dir/fm0.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/fm0.cpp.o.d"
+  "/root/repo/src/phy/miller.cpp" "src/phy/CMakeFiles/vab_phy.dir/miller.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/miller.cpp.o.d"
+  "/root/repo/src/phy/modem.cpp" "src/phy/CMakeFiles/vab_phy.dir/modem.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/modem.cpp.o.d"
+  "/root/repo/src/phy/pie.cpp" "src/phy/CMakeFiles/vab_phy.dir/pie.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/pie.cpp.o.d"
+  "/root/repo/src/phy/sic.cpp" "src/phy/CMakeFiles/vab_phy.dir/sic.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/sic.cpp.o.d"
+  "/root/repo/src/phy/wakeup.cpp" "src/phy/CMakeFiles/vab_phy.dir/wakeup.cpp.o" "gcc" "src/phy/CMakeFiles/vab_phy.dir/wakeup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vab_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_phy.dir/ber.cpp.o"
+  "CMakeFiles/vab_phy.dir/ber.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/coding.cpp.o"
+  "CMakeFiles/vab_phy.dir/coding.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/equalizer.cpp.o"
+  "CMakeFiles/vab_phy.dir/equalizer.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/fec.cpp.o"
+  "CMakeFiles/vab_phy.dir/fec.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/fm0.cpp.o"
+  "CMakeFiles/vab_phy.dir/fm0.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/miller.cpp.o"
+  "CMakeFiles/vab_phy.dir/miller.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/modem.cpp.o"
+  "CMakeFiles/vab_phy.dir/modem.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/pie.cpp.o"
+  "CMakeFiles/vab_phy.dir/pie.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/sic.cpp.o"
+  "CMakeFiles/vab_phy.dir/sic.cpp.o.d"
+  "CMakeFiles/vab_phy.dir/wakeup.cpp.o"
+  "CMakeFiles/vab_phy.dir/wakeup.cpp.o.d"
+  "libvab_phy.a"
+  "libvab_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

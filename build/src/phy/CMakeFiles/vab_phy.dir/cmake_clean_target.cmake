@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvab_phy.a"
+)

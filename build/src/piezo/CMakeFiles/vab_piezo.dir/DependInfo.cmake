@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/piezo/bvd.cpp" "src/piezo/CMakeFiles/vab_piezo.dir/bvd.cpp.o" "gcc" "src/piezo/CMakeFiles/vab_piezo.dir/bvd.cpp.o.d"
+  "/root/repo/src/piezo/harvester.cpp" "src/piezo/CMakeFiles/vab_piezo.dir/harvester.cpp.o" "gcc" "src/piezo/CMakeFiles/vab_piezo.dir/harvester.cpp.o.d"
+  "/root/repo/src/piezo/matching.cpp" "src/piezo/CMakeFiles/vab_piezo.dir/matching.cpp.o" "gcc" "src/piezo/CMakeFiles/vab_piezo.dir/matching.cpp.o.d"
+  "/root/repo/src/piezo/modulator.cpp" "src/piezo/CMakeFiles/vab_piezo.dir/modulator.cpp.o" "gcc" "src/piezo/CMakeFiles/vab_piezo.dir/modulator.cpp.o.d"
+  "/root/repo/src/piezo/network.cpp" "src/piezo/CMakeFiles/vab_piezo.dir/network.cpp.o" "gcc" "src/piezo/CMakeFiles/vab_piezo.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

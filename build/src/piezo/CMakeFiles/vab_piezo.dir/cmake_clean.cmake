@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_piezo.dir/bvd.cpp.o"
+  "CMakeFiles/vab_piezo.dir/bvd.cpp.o.d"
+  "CMakeFiles/vab_piezo.dir/harvester.cpp.o"
+  "CMakeFiles/vab_piezo.dir/harvester.cpp.o.d"
+  "CMakeFiles/vab_piezo.dir/matching.cpp.o"
+  "CMakeFiles/vab_piezo.dir/matching.cpp.o.d"
+  "CMakeFiles/vab_piezo.dir/modulator.cpp.o"
+  "CMakeFiles/vab_piezo.dir/modulator.cpp.o.d"
+  "CMakeFiles/vab_piezo.dir/network.cpp.o"
+  "CMakeFiles/vab_piezo.dir/network.cpp.o.d"
+  "libvab_piezo.a"
+  "libvab_piezo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_piezo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_sim.dir/linkbudget.cpp.o"
+  "CMakeFiles/vab_sim.dir/linkbudget.cpp.o.d"
+  "CMakeFiles/vab_sim.dir/montecarlo.cpp.o"
+  "CMakeFiles/vab_sim.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/vab_sim.dir/scenario.cpp.o"
+  "CMakeFiles/vab_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/vab_sim.dir/waveform_sim.cpp.o"
+  "CMakeFiles/vab_sim.dir/waveform_sim.cpp.o.d"
+  "libvab_sim.a"
+  "libvab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vanatta/array.cpp" "src/vanatta/CMakeFiles/vab_vanatta.dir/array.cpp.o" "gcc" "src/vanatta/CMakeFiles/vab_vanatta.dir/array.cpp.o.d"
+  "/root/repo/src/vanatta/mismatch.cpp" "src/vanatta/CMakeFiles/vab_vanatta.dir/mismatch.cpp.o" "gcc" "src/vanatta/CMakeFiles/vab_vanatta.dir/mismatch.cpp.o.d"
+  "/root/repo/src/vanatta/pattern.cpp" "src/vanatta/CMakeFiles/vab_vanatta.dir/pattern.cpp.o" "gcc" "src/vanatta/CMakeFiles/vab_vanatta.dir/pattern.cpp.o.d"
+  "/root/repo/src/vanatta/planar.cpp" "src/vanatta/CMakeFiles/vab_vanatta.dir/planar.cpp.o" "gcc" "src/vanatta/CMakeFiles/vab_vanatta.dir/planar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/piezo/CMakeFiles/vab_piezo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

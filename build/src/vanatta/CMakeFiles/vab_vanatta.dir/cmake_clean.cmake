@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vab_vanatta.dir/array.cpp.o"
+  "CMakeFiles/vab_vanatta.dir/array.cpp.o.d"
+  "CMakeFiles/vab_vanatta.dir/mismatch.cpp.o"
+  "CMakeFiles/vab_vanatta.dir/mismatch.cpp.o.d"
+  "CMakeFiles/vab_vanatta.dir/pattern.cpp.o"
+  "CMakeFiles/vab_vanatta.dir/pattern.cpp.o.d"
+  "CMakeFiles/vab_vanatta.dir/planar.cpp.o"
+  "CMakeFiles/vab_vanatta.dir/planar.cpp.o.d"
+  "libvab_vanatta.a"
+  "libvab_vanatta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vab_vanatta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

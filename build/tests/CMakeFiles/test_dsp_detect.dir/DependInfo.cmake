@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dsp_detect.cpp" "tests/CMakeFiles/test_dsp_detect.dir/test_dsp_detect.cpp.o" "gcc" "tests/CMakeFiles/test_dsp_detect.dir/test_dsp_detect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vab_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/vab_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vanatta/CMakeFiles/vab_vanatta.dir/DependInfo.cmake"
+  "/root/repo/build/src/piezo/CMakeFiles/vab_piezo.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/vab_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vab_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

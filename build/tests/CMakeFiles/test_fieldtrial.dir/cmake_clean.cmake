@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fieldtrial.dir/test_fieldtrial.cpp.o"
+  "CMakeFiles/test_fieldtrial.dir/test_fieldtrial.cpp.o.d"
+  "test_fieldtrial"
+  "test_fieldtrial.pdb"
+  "test_fieldtrial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fieldtrial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multipath.dir/test_multipath.cpp.o"
+  "CMakeFiles/test_multipath.dir/test_multipath.cpp.o.d"
+  "test_multipath"
+  "test_multipath.pdb"
+  "test_multipath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

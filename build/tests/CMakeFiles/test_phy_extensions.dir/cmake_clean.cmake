@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_extensions.dir/test_phy_extensions.cpp.o"
+  "CMakeFiles/test_phy_extensions.dir/test_phy_extensions.cpp.o.d"
+  "test_phy_extensions"
+  "test_phy_extensions.pdb"
+  "test_phy_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy_line_codes.dir/test_phy_line_codes.cpp.o"
+  "CMakeFiles/test_phy_line_codes.dir/test_phy_line_codes.cpp.o.d"
+  "test_phy_line_codes"
+  "test_phy_line_codes.pdb"
+  "test_phy_line_codes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy_line_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raytrace_energy.dir/test_raytrace_energy.cpp.o"
+  "CMakeFiles/test_raytrace_energy.dir/test_raytrace_energy.cpp.o.d"
+  "test_raytrace_energy"
+  "test_raytrace_energy.pdb"
+  "test_raytrace_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raytrace_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vanatta.dir/test_vanatta.cpp.o"
+  "CMakeFiles/test_vanatta.dir/test_vanatta.cpp.o.d"
+  "test_vanatta"
+  "test_vanatta.pdb"
+  "test_vanatta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vanatta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

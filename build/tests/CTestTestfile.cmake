@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_filters[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_modem[1]_include.cmake")
+include("/root/repo/build/tests/test_waveform_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_multipath[1]_include.cmake")
+include("/root/repo/build/tests/test_piezo[1]_include.cmake")
+include("/root/repo/build/tests/test_vanatta[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_coding[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_line_codes[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_phy_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_raytrace_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_fieldtrial[1]_include.cmake")
+include("/root/repo/build/tests/test_discovery[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_planar[1]_include.cmake")
