@@ -1,12 +1,16 @@
 // Shared helpers for the experiment-reproduction benches: banner, table
-// emission, and the standard trial counts (override with key=value args,
-// e.g. `trials=2000 csv=out.csv`).
+// emission, parallel-engine setup and timing/throughput counters. The
+// standard trial counts can be overridden with key=value args
+// (e.g. `trials=2000 threads=8 csv=out.csv`).
 #pragma once
 
+#include <chrono>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/config.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 
 namespace vab::bench {
@@ -24,6 +28,50 @@ inline void emit(const common::Table& table, const common::Config& cfg) {
     table.write_csv(csv);
     std::cout << "wrote " << csv << "\n";
   }
+}
+
+/// Applies the `threads=N` config key (falling back to VAB_THREADS / the
+/// hardware) to the parallel engine and returns the effective count.
+inline unsigned init_threads(const common::Config& cfg) {
+  const long n = cfg.get_int("threads", 0);
+  common::set_thread_count(n > 0 ? static_cast<unsigned>(n) : 0);
+  return common::thread_count();
+}
+
+/// Wall-clock stopwatch for the per-sweep timing counters.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Emits one machine-parsable timing record:
+///   BENCH {"bench":"E1","section":"sweep","threads":8,"elapsed_s":...,
+///          "trials":4400,"trials_per_s":...[,"serial_elapsed_s":...,
+///          "speedup":...]}
+/// Pass `serial_elapsed_s > 0` (a 1-thread re-run of the same workload) to
+/// report the measured parallel speedup.
+inline void emit_timing(const std::string& bench_id, const std::string& section,
+                        double elapsed_s, std::size_t trials,
+                        double serial_elapsed_s = 0.0) {
+  std::ostringstream os;
+  os << "BENCH {\"bench\":\"" << bench_id << "\",\"section\":\"" << section
+     << "\",\"threads\":" << common::thread_count() << ",\"elapsed_s\":" << elapsed_s
+     << ",\"trials\":" << trials;
+  if (elapsed_s > 0.0)
+    os << ",\"trials_per_s\":" << static_cast<double>(trials) / elapsed_s;
+  if (serial_elapsed_s > 0.0 && elapsed_s > 0.0)
+    os << ",\"serial_elapsed_s\":" << serial_elapsed_s
+       << ",\"speedup\":" << serial_elapsed_s / elapsed_s;
+  os << "}";
+  std::cout << os.str() << "\n";
 }
 
 }  // namespace vab::bench

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   const auto trials = static_cast<std::size_t>(cfg.get_int("trials", 200));
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 3)));
   const double ref_range = cfg.get_double("range_m", 200.0);
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
 
   common::Table t({"elements", "retro_gain_db", "snr_at_200m_db", "max_range_m_ber1e-3"});
   for (std::size_t n : {1u, 2u, 4u, 6u, 8u, 12u, 16u}) {
@@ -31,5 +33,6 @@ int main(int argc, char** argv) {
                common::Table::num(lb.max_range_m(1e-3, trials, local), 0)});
   }
   bench::emit(t, cfg);
+  bench::emit_timing("E3", "max_range_bisect", sw.seconds(), 7 * 26 * trials);
   return 0;
 }

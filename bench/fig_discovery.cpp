@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "net/discovery.hpp"
 #include "net/mac.hpp"
@@ -16,16 +17,23 @@ int main(int argc, char** argv) {
 
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 24)));
   const auto seeds = static_cast<std::size_t>(cfg.get_int("seeds", 20));
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
   const net::MacTiming timing{};
   const double slot_s = timing.slot_duration_s();
 
   common::Table t({"nodes", "loss", "avg_slots", "slots_per_node", "airtime_s",
                    "complete"});
+  std::size_t runs = 0;
   for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
     for (double loss : {0.0, 0.2}) {
-      double slots_acc = 0.0;
-      std::size_t complete = 0;
-      for (std::size_t s = 0; s < seeds; ++s) {
+      // Seeds are independent runs: fan them out, fold in seed order.
+      struct SeedResult {
+        std::size_t total_slots = 0;
+        bool complete = false;
+      };
+      std::vector<SeedResult> per_seed(seeds);
+      common::parallel_for(0, seeds, [&](std::size_t s) {
         std::vector<std::uint8_t> pop(n);
         for (std::size_t i = 0; i < n; ++i) pop[i] = static_cast<std::uint8_t>(i + 1);
         net::DiscoveryConfig dc;
@@ -33,9 +41,15 @@ int main(int argc, char** argv) {
         dc.max_rounds = 256;
         common::Rng local = rng.child(n * 1000 + s + static_cast<std::uint64_t>(loss * 10));
         const auto res = net::run_discovery(pop, dc, local);
-        slots_acc += static_cast<double>(res.total_slots);
-        if (res.complete) ++complete;
+        per_seed[s] = {res.total_slots, res.complete};
+      });
+      double slots_acc = 0.0;
+      std::size_t complete = 0;
+      for (const auto& r : per_seed) {
+        slots_acc += static_cast<double>(r.total_slots);
+        if (r.complete) ++complete;
       }
+      runs += seeds;
       const double avg_slots = slots_acc / static_cast<double>(seeds);
       t.add_row({std::to_string(n), common::Table::num(loss, 1),
                  common::Table::num(avg_slots, 1),
@@ -45,6 +59,7 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(t, cfg);
+  bench::emit_timing("EXT-4", "discovery_seeds", sw.seconds(), runs);
   std::cout << "framed slotted Aloha optimum is 1/0.368 = 2.72 slots per node;\n"
                "the adaptive-Q controller should sit within ~2x of that.\n";
   return 0;

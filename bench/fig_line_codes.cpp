@@ -48,6 +48,8 @@ int main(int argc, char** argv) {
                 "FM0 pushes data off the carrier; Miller goes further at a bandwidth cost");
 
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 21)));
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
   const bitvec bits = rng.random_bits(2048);
   const double bitrate = 500.0;
 
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
                common::Table::num(10.0 * std::log10(e.cpb / 2.0), 1)});
   }
   bench::emit(t, cfg);
+  bench::emit_timing("EXT-1", "line_code_spectra", sw.seconds(), entries.size());
   std::cout << "reading: Miller concentrates energy at the subcarrier, buying immunity\n"
                "to SIC residue near DC, at 10log10(M/1) dB more noise bandwidth.\n";
   return 0;

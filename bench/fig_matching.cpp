@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   const double q_m = cfg.get_double("q_m", 25.0);
   const double k_eff = cfg.get_double("k_eff", 0.3);
   const double r_source = cfg.get_double("r_source", 50.0);
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
 
   const piezo::BvdModel bvd =
       piezo::BvdModel::from_resonance(f0, q_m, k_eff, 10e-9, 0.75);
@@ -45,5 +47,6 @@ int main(int argc, char** argv) {
                     ? common::Table::num(sec.shunt_capacitance() * 1e9, 2) + " nF"
                     : common::Table::num(sec.shunt_inductance() * 1e3, 3) + " mH")
             << "\n";
+  bench::emit_timing("E7", "matching_sweep", sw.seconds(), 13);
   return 0;
 }

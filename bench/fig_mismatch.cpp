@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
 
   const auto trials = static_cast<std::size_t>(cfg.get_int("trials", 500));
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 11)));
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
 
   vanatta::VanAttaConfig ac;
   ac.n_elements = static_cast<std::size_t>(cfg.get_int("elements", 8));
@@ -40,5 +42,6 @@ int main(int argc, char** argv) {
       vanatta::mismatch_monte_carlo(ac, 0.0, 18500.0, 0.0, 1.0, trials, local);
   std::cout << "  mean loss " << common::Table::num(amp.mean_loss_db, 2) << " dB, p95 "
             << common::Table::num(amp.p95_loss_db, 2) << " dB\n";
+  bench::emit_timing("E11", "mismatch_mc", sw.seconds(), 7 * trials);
   return 0;
 }

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   bench::banner("E10", "Load-modulation depth",
                 "open/short switching yields near-full reflection swing at resonance");
 
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
   const piezo::BvdModel bvd =
       piezo::BvdModel::from_resonance(18500.0, 25.0, 0.3, 10e-9, 0.75);
   const double f0 = bvd.series_resonance_hz();
@@ -56,5 +58,6 @@ int main(int argc, char** argv) {
                common::Table::num(20.0 * std::log10(amp / onoff_amp), 1)});
   }
   bench::emit(a, common::Config{});
+  bench::emit_timing("E10", "modulation_depth", sw.seconds(), 3 + 9 + 2);
   return 0;
 }

@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
 
   const auto trials = static_cast<std::size_t>(cfg.get_int("trials", 400));
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 4)));
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
 
   const rvec ranges{25, 50, 100, 150, 200, 250, 300, 350};
   const auto ocean =
@@ -40,5 +42,6 @@ int main(int argc, char** argv) {
   const auto stats = sim::run_waveform_trials(s, 3, 64, wrng);
   std::cout << "waveform check @" << s.range_m << " m: frames_ok=" << stats.frames_ok
             << "/" << stats.trials << " ber=" << stats.ber() << "\n";
+  bench::emit_timing("E4", "sweep+waveform", sw.seconds(), 2 * ranges.size() * trials + 3);
   return 0;
 }

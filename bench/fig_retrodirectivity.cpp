@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
                 "range holds across orientations for VAB; non-retro arrays collapse");
 
   const double range = cfg.get_double("range_m", 200.0);
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
   common::Table t({"angle_deg", "vanatta_snr_db", "fixed_array_snr_db", "single_elem_snr_db"});
   for (double deg = -60.0; deg <= 60.0 + 1e-9; deg += 10.0) {
     rvec row;
@@ -63,5 +65,6 @@ int main(int argc, char** argv) {
                common::Table::num(row.monostatic_gain_db(d, 18500.0), 1)});
   }
   bench::emit(p, common::Config{});
+  bench::emit_timing("E2", "orientation_sweep", sw.seconds(), 13 * 3 + 2 + 7);
   return 0;
 }

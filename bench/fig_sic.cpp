@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "dsp/mixer.hpp"
 #include "phy/coding.hpp"
@@ -39,10 +40,21 @@ int main(int argc, char** argv) {
                 "the direct blast sits tens of dB above the backscatter; SIC recovers it");
 
   common::Rng rng(static_cast<std::uint64_t>(cfg_args.get_int("seed", 8)));
+  bench::init_threads(cfg_args);
+  bench::Stopwatch sw;
 
-  // Part 1: suppression + decode vs blast-to-signal ratio.
-  common::Table t({"blast_over_signal_db", "sic_suppression_db", "sync", "bit_errors"});
-  for (double bsr_db : {40.0, 60.0, 80.0, 90.0}) {
+  struct RowResult {
+    double suppression_db = 0.0;
+    bool sync = false;
+    std::size_t bit_errors = 0;
+  };
+
+  // Part 1: suppression + decode vs blast-to-signal ratio. Each capture is
+  // self-contained (own child stream) — fan the rows out.
+  const std::vector<double> bsrs{40.0, 60.0, 80.0, 90.0};
+  std::vector<RowResult> part1(bsrs.size());
+  common::parallel_for(0, bsrs.size(), [&](std::size_t i) {
+    const double bsr_db = bsrs[i];
     phy::PhyConfig cfg;
     cfg.fs_hz = 96000.0;
     common::Rng local = rng.child(static_cast<std::uint64_t>(bsr_db));
@@ -51,36 +63,48 @@ int main(int argc, char** argv) {
     const rvec x = make_capture(cfg, payload, mod_amp, 1.0, mod_amp * 0.05, local);
     phy::ReaderDemodulator demod(cfg);
     const auto res = demod.demodulate(x, payload.size());
-    t.add_row({common::Table::num(bsr_db, 0),
-               common::Table::num(res.sic_suppression_db, 1),
-               res.sync_found ? "yes" : "no",
-               res.sync_found
-                   ? std::to_string(phy::hamming_distance(res.bits, payload))
-                   : "-"});
+    part1[i] = {res.sic_suppression_db, res.sync_found,
+                res.sync_found ? phy::hamming_distance(res.bits, payload) : 0};
+  });
+  common::Table t({"blast_over_signal_db", "sic_suppression_db", "sync", "bit_errors"});
+  for (std::size_t i = 0; i < bsrs.size(); ++i) {
+    t.add_row({common::Table::num(bsrs[i], 0),
+               common::Table::num(part1[i].suppression_db, 1),
+               part1[i].sync ? "yes" : "no",
+               part1[i].sync ? std::to_string(part1[i].bit_errors) : "-"});
   }
   bench::emit(t, cfg_args);
 
   // Part 2: ablation of the receive-chain stages at 80 dB blast.
   std::cout << "receive-chain ablation (80 dB blast-to-signal):\n";
+  struct Ablation {
+    bool notch, eq;
+  };
+  const std::vector<Ablation> ablations{{true, true}, {true, false},
+                                        {false, true}, {false, false}};
+  std::vector<RowResult> part2(ablations.size());
+  common::parallel_for(0, ablations.size(), [&](std::size_t i) {
+    phy::PhyConfig cfg;
+    cfg.fs_hz = 96000.0;
+    cfg.sic.enable_dc_notch = ablations[i].notch;
+    cfg.enable_equalizer = ablations[i].eq;
+    common::Rng local =
+        rng.child(static_cast<std::uint64_t>(ablations[i].notch * 2 + ablations[i].eq + 10));
+    const bitvec payload = local.random_bits(64);
+    const double mod_amp = 1e-4;
+    const rvec x = make_capture(cfg, payload, mod_amp, 1.0, mod_amp * 0.05, local);
+    phy::ReaderDemodulator demod(cfg);
+    const auto res = demod.demodulate(x, payload.size());
+    part2[i] = {res.sic_suppression_db, res.sync_found,
+                res.sync_found ? phy::hamming_distance(res.bits, payload) : 0};
+  });
   common::Table a({"dc_notch", "equalizer", "sync", "bit_errors"});
-  for (bool notch : {true, false}) {
-    for (bool eq : {true, false}) {
-      phy::PhyConfig cfg;
-      cfg.fs_hz = 96000.0;
-      cfg.sic.enable_dc_notch = notch;
-      cfg.enable_equalizer = eq;
-      common::Rng local = rng.child(static_cast<std::uint64_t>(notch * 2 + eq + 10));
-      const bitvec payload = local.random_bits(64);
-      const double mod_amp = 1e-4;
-      const rvec x = make_capture(cfg, payload, mod_amp, 1.0, mod_amp * 0.05, local);
-      phy::ReaderDemodulator demod(cfg);
-      const auto res = demod.demodulate(x, payload.size());
-      a.add_row({notch ? "on" : "off", eq ? "on" : "off", res.sync_found ? "yes" : "no",
-                 res.sync_found
-                     ? std::to_string(phy::hamming_distance(res.bits, payload))
-                     : "-"});
-    }
+  for (std::size_t i = 0; i < ablations.size(); ++i) {
+    a.add_row({ablations[i].notch ? "on" : "off", ablations[i].eq ? "on" : "off",
+               part2[i].sync ? "yes" : "no",
+               part2[i].sync ? std::to_string(part2[i].bit_errors) : "-"});
   }
   bench::emit(a, common::Config{});
+  bench::emit_timing("E8", "sic_captures", sw.seconds(), bsrs.size() + ablations.size());
   return 0;
 }

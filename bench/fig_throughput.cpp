@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
 
   const auto trials = static_cast<std::size_t>(cfg.get_int("trials", 200));
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 6)));
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
 
   const std::vector<double> bitrates{100, 200, 500, 1000, 2000};
   common::Table t({"bitrate_bps", "max_range_m_ber1e-3", "snr_at_300m_db", "ber_at_300m"});
@@ -33,20 +35,32 @@ int main(int argc, char** argv) {
   bench::emit(t, cfg);
 
   // Waveform cross-check: multipath ISI makes high chip rates worse than the
-  // bandwidth-only link budget predicts.
+  // bandwidth-only link budget predicts. All (bitrate, trial) pairs fan out
+  // as one flat batch.
   std::cout << "waveform ISI check @150 m (3 trials each):\n";
+  const std::vector<double> wf_bitrates{200.0, 1000.0, 2000.0};
+  std::vector<sim::WaveformJob> jobs;
+  for (double b : wf_bitrates) {
+    sim::WaveformJob j;
+    j.scenario = sim::vab_river_scenario();
+    j.scenario.phy.bitrate_bps = b;
+    j.scenario.range_m = 150.0;
+    j.scenario.env.fading_sigma_db = 0.0;
+    j.trials = 3;
+    j.payload_bits = 64;
+    j.rng = rng.child(1000 + static_cast<std::uint64_t>(b));
+    jobs.push_back(std::move(j));
+  }
+  const auto wf_stats = sim::run_waveform_batch(jobs);
   common::Table v({"bitrate_bps", "frames_ok", "ber"});
-  for (double b : {200.0, 1000.0, 2000.0}) {
-    sim::Scenario s = sim::vab_river_scenario();
-    s.phy.bitrate_bps = b;
-    s.range_m = 150.0;
-    s.env.fading_sigma_db = 0.0;
-    common::Rng wrng = rng.child(1000 + static_cast<std::uint64_t>(b));
-    const auto stats = sim::run_waveform_trials(s, 3, 64, wrng);
-    v.add_row({common::Table::num(b, 0),
+  for (std::size_t i = 0; i < wf_bitrates.size(); ++i) {
+    const auto& stats = wf_stats[i];
+    v.add_row({common::Table::num(wf_bitrates[i], 0),
                std::to_string(stats.frames_ok) + "/" + std::to_string(stats.trials),
                common::Table::sci(stats.ber())});
   }
   bench::emit(v, common::Config{});
+  bench::emit_timing("E6", "bisect+waveform", sw.seconds(),
+                     bitrates.size() * 26 * trials + jobs.size() * 3);
   return 0;
 }

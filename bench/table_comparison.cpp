@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
 
   const auto trials = static_cast<std::size_t>(cfg.get_int("trials", 300));
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 5)));
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
 
   struct Row {
     const char* name;
@@ -56,6 +58,9 @@ int main(int argc, char** argv) {
                common::Table::num(piezo::energy_per_bit_j(power, bitrate) * 1e9, 1)});
   }
   bench::emit(t, cfg);
+  // Each max_range_m bisection runs up to 26 Monte-Carlo batches of `trials`
+  // packets; two bisections (broadside + 30 deg) per system.
+  bench::emit_timing("E5", "max_range_bisect", sw.seconds(), rows.size() * 2 * 26 * trials);
 
   std::cout << "note: all systems share the projector, carrier, bitrate and node power\n"
                "budget; the range gain comes from the retrodirective array + the\n"

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
   bench::banner("E9", "Node power budget",
                 "ultra-low-power: uW-scale node, battery-free near the reader");
 
+  bench::init_threads(cfg);
+  bench::Stopwatch sw;
   const piezo::PowerBudget power{};
   common::Table s({"state", "power_uW"});
   s.add_row({"sleep (RTC + leakage)", common::Table::num(power.sleep_w * 1e6, 2)});
@@ -50,5 +52,6 @@ int main(int argc, char** argv) {
   bench::emit(h, common::Config{});
   std::cout << "duty-cycled load: " << common::Table::num(avg_load * 1e6, 2)
             << " uW (90% sleep / 5% listen / 4% backscatter / 1% active)\n";
+  bench::emit_timing("E9", "power_budget", sw.seconds(), 6);
   return 0;
 }

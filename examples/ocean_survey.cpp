@@ -8,8 +8,11 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/config.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -27,6 +30,8 @@ int main(int argc, char** argv) {
   const double spacing = cfg.get_double("spacing_m", 150.0);
   const auto passes = static_cast<std::size_t>(cfg.get_int("passes", 4));
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 9)));
+  // threads=N overrides VAB_THREADS / hardware autodetection (0 = auto).
+  common::set_thread_count(static_cast<unsigned>(cfg.get_int("threads", 0)));
 
   std::cout << "Ocean survey: boat transects past " << n_nodes << " nodes at " << spacing
             << " m spacing, " << passes << " passes over 24 h\n\n";
@@ -47,11 +52,21 @@ int main(int argc, char** argv) {
   const double dwell_s = cfg.get_double("dwell_s", 600.0);
   const double gap_s = 24.0 * 3600.0 / static_cast<double>(passes) - dwell_s;
 
-  common::Table t({"node", "dist_from_track_m", "queries_ok", "harvest_per_pass_J",
-                   "min_cap_V", "survives_day"});
-  for (std::size_t i = 0; i < n_nodes; ++i) {
+  // Each node is an independent simulation with its own child stream, so the
+  // per-node loop fans out over the parallel engine and the table is
+  // identical for any thread count (and to a serial run).
+  struct NodeRow {
+    double cross = 0.0;
+    std::size_t queries_ok = 0;
+    double harvest_w = 0.0;
+    double min_v = 0.0;
+    bool alive = true;
+  };
+  std::vector<NodeRow> node_rows(n_nodes);
+  common::parallel_for(0, n_nodes, [&](std::size_t i) {
+    common::Rng node_rng = rng.child(i);
     // Node offset from the boat track (cross-track distance at closest pass).
-    const double cross = rng.uniform(20.0, 0.9 * spacing);
+    const double cross = node_rng.uniform(20.0, 0.9 * spacing);
     sim::Scenario s = base;
     s.range_m = cross;
     const sim::LinkBudget lb(s);
@@ -61,7 +76,7 @@ int main(int argc, char** argv) {
     const double per = phy::packet_error_rate(ber, (4 + 6 + 2) * 8);
     std::size_t ok = 0;
     for (std::size_t p = 0; p < passes; ++p)
-      if (!rng.coin(per)) ++ok;
+      if (!node_rng.coin(per)) ++ok;
 
     // Energy: harvest during dwell, drain during the gap.
     const double spl = lb.carrier_spl_at_node(cross);
@@ -77,10 +92,17 @@ int main(int argc, char** argv) {
       alive = cap.draw(idle_load, gap_s);
       min_v = std::min(min_v, cap.voltage());
     }
-    t.add_row({std::to_string(i), common::Table::num(cross, 0),
-               std::to_string(ok) + "/" + std::to_string(passes),
-               common::Table::num(harvest_w * dwell_s, 3),
-               common::Table::num(min_v, 2), alive ? "yes" : "NO (brownout)"});
+    node_rows[i] = {cross, ok, harvest_w, min_v, alive};
+  });
+
+  common::Table t({"node", "dist_from_track_m", "queries_ok", "harvest_per_pass_J",
+                   "min_cap_V", "survives_day"});
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const auto& r = node_rows[i];
+    t.add_row({std::to_string(i), common::Table::num(r.cross, 0),
+               std::to_string(r.queries_ok) + "/" + std::to_string(passes),
+               common::Table::num(r.harvest_w * dwell_s, 3),
+               common::Table::num(r.min_v, 2), r.alive ? "yes" : "NO (brownout)"});
   }
   std::cout << t.to_string();
   std::cout << "\nidle load " << common::Table::num(idle_load * 1e6, 2)

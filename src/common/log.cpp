@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace vab::common {
 
@@ -25,7 +26,18 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
-  std::cerr << "[vab:" << level_name(level) << "] " << msg << '\n';
+  // One mutex-guarded write per message: parallel_for workers log whole
+  // lines, never interleaved fragments.
+  static std::mutex emit_mu;
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += "[vab:";
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lk(emit_mu);
+  std::cerr << line;
 }
 }  // namespace detail
 

@@ -1,6 +1,6 @@
-// Minimal leveled logger. Global level, thread-safe enough for our
-// single-threaded simulator; writes to stderr so bench tables on stdout stay
-// machine-parsable.
+// Minimal leveled logger. Global atomic level; emission is serialized by a
+// mutex so concurrent messages from parallel trial workers never interleave
+// mid-line. Writes to stderr so bench tables on stdout stay machine-parsable.
 #pragma once
 
 #include <sstream>

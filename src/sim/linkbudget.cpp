@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "channel/spreading.hpp"
+#include "common/parallel.hpp"
 #include "phy/ber.hpp"
 
 namespace vab::sim {
@@ -48,17 +49,29 @@ LinkBudgetResult LinkBudget::evaluate(double range_m, double fading_db) const {
 LinkBudget::BerStats LinkBudget::monte_carlo(double range_m, std::size_t trials,
                                              std::size_t bits_per_trial,
                                              common::Rng& rng) const {
-  BerStats stats;
-  double snr_acc = 0.0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const double fade = rng.gaussian(0.0, scenario_.env.fading_sigma_db);
+  // Trial t draws fade and bit errors from its own rng.child(t) stream;
+  // slots are folded serially in trial order, so the result is bit-identical
+  // for any thread count. `rng` itself is never advanced.
+  struct Slot {
+    std::size_t errors = 0;
+    double snr_db = 0.0;
+  };
+  std::vector<Slot> slots(trials);
+  common::parallel_for(0, trials, [&](std::size_t t) {
+    common::Rng trial_rng = rng.child(t);
+    const double fade = trial_rng.gaussian(0.0, scenario_.env.fading_sigma_db);
     const LinkBudgetResult r = evaluate(range_m, fade);
-    snr_acc += r.snr_chip_db;
     std::binomial_distribution<std::size_t> binom(bits_per_trial,
                                                   std::min(std::max(r.ber, 0.0), 1.0));
-    stats.errors += binom(rng.engine());
-    stats.bits += bits_per_trial;
+    slots[t] = {binom(trial_rng.engine()), r.snr_chip_db};
+  });
+  BerStats stats;
+  double snr_acc = 0.0;
+  for (const Slot& s : slots) {
+    stats.errors += s.errors;
+    snr_acc += s.snr_db;
   }
+  stats.bits = trials * bits_per_trial;
   stats.mean_snr_db = trials ? snr_acc / static_cast<double>(trials) : 0.0;
   return stats;
 }

@@ -50,6 +50,9 @@ class LinkBudget {
 
   /// Monte-Carlo over fading: `trials` packets of `bits_per_trial` bits,
   /// drawing lognormal shadowing per packet and binomial bit errors.
+  /// Trials fan out over the parallel engine; packet t draws from
+  /// `rng.child(t)` (the parent stream is never advanced) and the reduction
+  /// is thread-count-invariant.
   BerStats monte_carlo(double range_m, std::size_t trials, std::size_t bits_per_trial,
                        common::Rng& rng) const;
 

@@ -1,6 +1,65 @@
 #include "sim/montecarlo.hpp"
 
+#include <algorithm>
+
+#include "common/parallel.hpp"
+
 namespace vab::sim {
+
+namespace {
+
+// Raw per-trial outcome; slots are written in parallel and folded serially
+// in trial order so the aggregate is thread-count-invariant.
+struct TrialSlot {
+  std::size_t bit_errors = 0;
+  bool sync_found = false;
+  bool frame_ok = false;
+  double snr_db = 0.0;
+  double corr_peak = 0.0;
+  double sic_suppression_db = 0.0;
+};
+
+WaveformStats fold_trials(const TrialSlot* slots, std::size_t n_trials,
+                          std::size_t payload_bits) {
+  WaveformStats stats;
+  stats.trials = n_trials;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    const TrialSlot& s = slots[t];
+    stats.total_bits += payload_bits;
+    stats.bit_errors += s.bit_errors;
+    if (s.sync_found) {
+      ++stats.frames_synced;
+      stats.mean_snr_db += s.snr_db;
+      stats.mean_corr_peak += s.corr_peak;
+      stats.mean_sic_suppression_db += s.sic_suppression_db;
+    }
+    if (s.frame_ok) ++stats.frames_ok;
+  }
+  if (stats.frames_synced > 0) {
+    const auto n = static_cast<double>(stats.frames_synced);
+    stats.mean_snr_db /= n;
+    stats.mean_corr_peak /= n;
+    stats.mean_sic_suppression_db /= n;
+  }
+  return stats;
+}
+
+TrialSlot run_one_trial(const Scenario& scenario, std::size_t payload_bits,
+                        common::Rng trial_rng) {
+  WaveformSimulator sim(scenario, trial_rng);
+  const bitvec payload = trial_rng.random_bits(payload_bits);
+  const auto res = sim.run_trial(payload);
+  TrialSlot s;
+  s.bit_errors = res.bit_errors;
+  s.sync_found = res.demod.sync_found;
+  s.frame_ok = res.frame_ok;
+  s.snr_db = res.demod.snr_db;
+  s.corr_peak = res.demod.corr_peak;
+  s.sic_suppression_db = res.demod.sic_suppression_db;
+  return s;
+}
+
+}  // namespace
 
 std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec& ranges,
                                            std::size_t trials, std::size_t bits_per_trial,
@@ -9,8 +68,9 @@ std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec&
   std::vector<SweepPoint> out;
   out.reserve(ranges.size());
   for (std::size_t i = 0; i < ranges.size(); ++i) {
-    common::Rng trial_rng = rng.child(i);
-    const auto stats = budget.monte_carlo(ranges[i], trials, bits_per_trial, trial_rng);
+    common::Rng point_rng = rng.child(i);
+    // monte_carlo fans its trials out over the pool internally.
+    const auto stats = budget.monte_carlo(ranges[i], trials, bits_per_trial, point_rng);
     SweepPoint p;
     p.range_m = ranges[i];
     p.ber = stats.ber();
@@ -24,30 +84,37 @@ std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec&
 
 WaveformStats run_waveform_trials(const Scenario& scenario, std::size_t n_trials,
                                   std::size_t payload_bits, common::Rng& rng) {
-  WaveformStats stats;
-  stats.trials = n_trials;
-  for (std::size_t t = 0; t < n_trials; ++t) {
-    common::Rng trial_rng = rng.child(t);
-    WaveformSimulator sim(scenario, trial_rng);
-    const bitvec payload = trial_rng.random_bits(payload_bits);
-    const auto res = sim.run_trial(payload);
-    stats.total_bits += payload_bits;
-    stats.bit_errors += res.bit_errors;
-    if (res.demod.sync_found) {
-      ++stats.frames_synced;
-      stats.mean_snr_db += res.demod.snr_db;
-      stats.mean_corr_peak += res.demod.corr_peak;
-      stats.mean_sic_suppression_db += res.demod.sic_suppression_db;
-    }
-    if (res.frame_ok) ++stats.frames_ok;
-  }
-  if (stats.frames_synced > 0) {
-    const auto n = static_cast<double>(stats.frames_synced);
-    stats.mean_snr_db /= n;
-    stats.mean_corr_peak /= n;
-    stats.mean_sic_suppression_db /= n;
-  }
-  return stats;
+  std::vector<TrialSlot> slots(n_trials);
+  common::parallel_for(0, n_trials, [&](std::size_t t) {
+    slots[t] = run_one_trial(scenario, payload_bits, rng.child(t));
+  });
+  return fold_trials(slots.data(), n_trials, payload_bits);
+}
+
+std::vector<WaveformStats> run_waveform_batch(const std::vector<WaveformJob>& jobs) {
+  // Flatten every (job, trial) pair into one index space.
+  std::vector<std::size_t> offsets(jobs.size() + 1, 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    offsets[j + 1] = offsets[j] + jobs[j].trials;
+  const std::size_t total = offsets.back();
+
+  std::vector<TrialSlot> slots(total);
+  common::parallel_for(0, total, [&](std::size_t flat) {
+    const std::size_t j =
+        static_cast<std::size_t>(std::upper_bound(offsets.begin(), offsets.end(), flat) -
+                                 offsets.begin()) -
+        1;
+    const std::size_t t = flat - offsets[j];
+    slots[flat] = run_one_trial(jobs[j].scenario, jobs[j].payload_bits,
+                                jobs[j].rng.child(t));
+  });
+
+  std::vector<WaveformStats> out;
+  out.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j)
+    out.push_back(
+        fold_trials(slots.data() + offsets[j], jobs[j].trials, jobs[j].payload_bits));
+  return out;
 }
 
 }  // namespace vab::sim

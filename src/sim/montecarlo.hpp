@@ -1,5 +1,11 @@
 // Trial orchestration: range sweeps on the analytic link budget and batch
 // waveform trials, with seeded reproducibility.
+//
+// All trial loops fan out over the common::parallel_for engine. Every trial
+// draws from its own `rng.child(trial_index)` stream and deposits its raw
+// outcome into a per-trial slot; aggregation then folds the slots serially
+// in trial order. Results are therefore bit-identical for any thread count
+// (including 1) — see tests/test_parallel_determinism.cpp.
 #pragma once
 
 #include <cstddef>
@@ -20,7 +26,8 @@ struct SweepPoint {
   std::size_t errors = 0;
 };
 
-/// BER vs range using the link budget with fading Monte-Carlo.
+/// BER vs range using the link budget with fading Monte-Carlo. Point i
+/// derives its trial streams from `rng.child(i)`.
 std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec& ranges,
                                            std::size_t trials, std::size_t bits_per_trial,
                                            common::Rng& rng);
@@ -41,8 +48,23 @@ struct WaveformStats {
 };
 
 /// Runs `n_trials` full waveform trials with random payloads of
-/// `payload_bits` bits each.
+/// `payload_bits` bits each; trial t draws from `rng.child(t)`.
 WaveformStats run_waveform_trials(const Scenario& scenario, std::size_t n_trials,
                                   std::size_t payload_bits, common::Rng& rng);
+
+/// One batch of waveform trials: a scenario, a trial count and the master
+/// stream the per-trial children are derived from.
+struct WaveformJob {
+  Scenario scenario;
+  std::size_t trials = 0;
+  std::size_t payload_bits = 0;
+  common::Rng rng;  ///< trial t of this job uses rng.child(t)
+};
+
+/// Runs several waveform batches as one flat parallel fan-out over every
+/// (job, trial) pair — full-chain trials are seconds-scale, so cross-batch
+/// fan-out is what keeps all cores busy when each batch has few trials.
+/// Result j is bit-identical to run_waveform_trials(jobs[j]...).
+std::vector<WaveformStats> run_waveform_batch(const std::vector<WaveformJob>& jobs);
 
 }  // namespace vab::sim

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 
 namespace vab::vanatta {
@@ -13,19 +14,20 @@ MismatchResult mismatch_monte_carlo(const VanAttaConfig& cfg, double theta_rad,
   const VanAttaArray clean(cfg);
   const double clean_gain = clean.monostatic_gain_db(theta_rad, f_hz);
 
-  rvec losses;
-  losses.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) {
+  // Draw t uses rng.child(t): thread-count-invariant and order-independent.
+  rvec losses(trials);
+  common::parallel_for(0, trials, [&](std::size_t t) {
+    common::Rng draw_rng = rng.child(t);
     VanAttaArray noisy(cfg);
     std::vector<double> ph(cfg.n_elements), g(cfg.n_elements);
     for (std::size_t i = 0; i < cfg.n_elements; ++i) {
-      ph[i] = rng.gaussian(0.0, sigma_phase_rad);
-      g[i] = std::pow(10.0, rng.gaussian(0.0, sigma_gain_db) / 20.0);
+      ph[i] = draw_rng.gaussian(0.0, sigma_phase_rad);
+      g[i] = std::pow(10.0, draw_rng.gaussian(0.0, sigma_gain_db) / 20.0);
     }
     noisy.set_phase_errors(std::move(ph));
     noisy.set_gain_errors(std::move(g));
-    losses.push_back(clean_gain - noisy.monostatic_gain_db(theta_rad, f_hz));
-  }
+    losses[t] = clean_gain - noisy.monostatic_gain_db(theta_rad, f_hz);
+  });
 
   MismatchResult r;
   r.mean_loss_db = common::mean(losses);

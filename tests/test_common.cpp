@@ -53,6 +53,68 @@ TEST(Rng, ChildStreamsDiffer) {
   EXPECT_LT(same, 2);
 }
 
+TEST(Rng, ChildSeedsCollisionFree) {
+  // The derivation contract (rng.hpp): child seeds are double-mixed, so a
+  // large family of children, grandchildren and sibling-parent children
+  // must all have pairwise-distinct seeds.
+  std::set<std::uint64_t> seeds;
+  std::size_t produced = 0;
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    Rng parent(p);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const Rng c = parent.child(i);
+      seeds.insert(c.seed());
+      ++produced;
+      for (std::uint64_t j = 0; j < 8; ++j) {
+        seeds.insert(c.child(j).seed());
+        ++produced;
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), produced);
+}
+
+TEST(Rng, GrandchildStreamsDecorrelated) {
+  // child(i).child(j) grid: take the first uniform draw from each
+  // grandchild stream and chi-squared-test the pooled sample against
+  // U(0,1). Structural correlation between derived streams (the old
+  // lattice hazard) concentrates mass in a few bins and blows the
+  // statistic up by orders of magnitude.
+  constexpr int kI = 48, kJ = 48, kBins = 32;
+  constexpr double kN = kI * kJ;
+  Rng master(0x600dULL);
+  int counts[kBins] = {};
+  for (int i = 0; i < kI; ++i) {
+    const Rng c = master.child(static_cast<std::uint64_t>(i));
+    for (int j = 0; j < kJ; ++j) {
+      Rng g = c.child(static_cast<std::uint64_t>(j));
+      const double u = g.uniform();
+      ASSERT_GE(u, 0.0);
+      ASSERT_LT(u, 1.0);
+      ++counts[static_cast<int>(u * kBins)];
+    }
+  }
+  const double expected = kN / kBins;
+  double chi2 = 0.0;
+  for (int b = 0; b < kBins; ++b) {
+    const double d = counts[b] - expected;
+    chi2 += d * d / expected;
+  }
+  // 31 degrees of freedom: mean 31, stddev ~7.9. 99.9th percentile ~= 61;
+  // allow a generous margin so the test only fires on structural defects.
+  EXPECT_LT(chi2, 70.0);
+}
+
+TEST(Rng, ChildIsPureAndDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.child(0);
+  (void)a.child(1);
+  for (int i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  // Same stream index always derives the same child.
+  Rng c1 = a.child(5), c2 = a.child(5);
+  for (int i = 0; i < 32; ++i) EXPECT_DOUBLE_EQ(c1.uniform(), c2.uniform());
+}
+
 TEST(Rng, GaussianMoments) {
   Rng rng(3);
   RunningStats s;
