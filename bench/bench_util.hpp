@@ -6,12 +6,12 @@
 
 #include <chrono>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "common/config.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "obs/obs.hpp"
 
 namespace vab::bench {
 
@@ -31,10 +31,20 @@ inline void emit(const common::Table& table, const common::Config& cfg) {
 }
 
 /// Applies the `threads=N` config key (falling back to VAB_THREADS / the
-/// hardware) to the parallel engine and returns the effective count.
+/// hardware) to the parallel engine and returns the effective count. Also
+/// wires up observability: the full config is snapshotted into the run
+/// manifest, and `trace=<path>` / `metrics=<path>` config keys enable the
+/// tracer / metrics dump exactly like VAB_TRACE / VAB_METRICS.
 inline unsigned init_threads(const common::Config& cfg) {
   const long n = cfg.get_int("threads", 0);
   common::set_thread_count(n > 0 ? static_cast<unsigned>(n) : 0);
+  for (const auto& key : cfg.keys())
+    obs::set_manifest("config." + key, cfg.get_string(key, ""));
+  if (cfg.has("seed")) obs::set_manifest("seed", cfg.get_string("seed", ""));
+  if (const std::string p = cfg.get_string("trace", ""); !p.empty())
+    obs::enable_trace(p);
+  if (const std::string p = cfg.get_string("metrics", ""); !p.empty())
+    obs::enable_metrics(p);
   return common::thread_count();
 }
 
@@ -52,26 +62,35 @@ class Stopwatch {
   clock::time_point start_;
 };
 
-/// Emits one machine-parsable timing record:
-///   BENCH {"bench":"E1","section":"sweep","threads":8,"elapsed_s":...,
-///          "trials":4400,"trials_per_s":...[,"serial_elapsed_s":...,
-///          "speedup":...]}
+/// Emits one machine-parsable timing record (schema vab-bench-v2):
+///   BENCH {"schema":"vab-bench-v2","bench":"E1","section":"sweep",
+///          "threads":8,"elapsed_s":...,"trials":4400,"trials_per_s":...
+///          [,"serial_elapsed_s":...,"speedup":...],"manifest":{...}}
+/// String fields are JSON-escaped by the shared obs::JsonWriter (the v1
+/// writer interpolated bench_id/section raw) and every record carries the
+/// run manifest (library version, build type, seed, config snapshot).
 /// Pass `serial_elapsed_s > 0` (a 1-thread re-run of the same workload) to
 /// report the measured parallel speedup.
 inline void emit_timing(const std::string& bench_id, const std::string& section,
                         double elapsed_s, std::size_t trials,
                         double serial_elapsed_s = 0.0) {
-  std::ostringstream os;
-  os << "BENCH {\"bench\":\"" << bench_id << "\",\"section\":\"" << section
-     << "\",\"threads\":" << common::thread_count() << ",\"elapsed_s\":" << elapsed_s
-     << ",\"trials\":" << trials;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "vab-bench-v2");
+  w.field("bench", bench_id);
+  w.field("section", section);
+  w.field("threads", common::thread_count());
+  w.field("elapsed_s", elapsed_s);
+  w.field("trials", static_cast<std::uint64_t>(trials));
   if (elapsed_s > 0.0)
-    os << ",\"trials_per_s\":" << static_cast<double>(trials) / elapsed_s;
-  if (serial_elapsed_s > 0.0 && elapsed_s > 0.0)
-    os << ",\"serial_elapsed_s\":" << serial_elapsed_s
-       << ",\"speedup\":" << serial_elapsed_s / elapsed_s;
-  os << "}";
-  std::cout << os.str() << "\n";
+    w.field("trials_per_s", static_cast<double>(trials) / elapsed_s);
+  if (serial_elapsed_s > 0.0 && elapsed_s > 0.0) {
+    w.field("serial_elapsed_s", serial_elapsed_s);
+    w.field("speedup", serial_elapsed_s / elapsed_s);
+  }
+  w.key("manifest").raw(obs::manifest_json());
+  w.end_object();
+  std::cout << "BENCH " << w.str() << "\n";
 }
 
 }  // namespace vab::bench

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   const auto wf_trials = static_cast<std::size_t>(cfg.get_int("waveform_trials", 3));
   const auto seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
   const unsigned threads = bench::init_threads(cfg);
+  obs::set_manifest("seed", std::to_string(seed));
 
   const rvec ranges{25, 50, 75, 100, 150, 200, 250, 300, 350, 400, 500};
   const std::vector<double> wf_ranges{100.0, 200.0, 300.0};

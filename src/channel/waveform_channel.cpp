@@ -5,6 +5,7 @@
 
 #include "common/units.hpp"
 #include "dsp/resample.hpp"
+#include "obs/obs.hpp"
 
 namespace vab::channel {
 
@@ -26,6 +27,7 @@ double WaveformChannel::max_delay_s() const {
 }
 
 rvec WaveformChannel::apply_taps(const rvec& tx) const {
+  VAB_STAGE("channel.apply_taps");
   const double fs = cfg_.fs_hz;
   const double wave_amp = cfg_.surface_wave_amplitude_m;
   // Extra headroom covers the static delays plus the surface-wave breathing.

@@ -1,13 +1,30 @@
 #include "common/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "obs/trace.hpp"
 
 namespace vab::common {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("VAB_LOG")) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,19 +38,36 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
+LogLevel log_level() { return level_ref().load(); }
+
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off" || s == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
+  // Timestamp on the trace clock and the trace thread id, so a log line can
+  // be placed directly against spans in the exported Chrome trace.
+  const double t_s = static_cast<double>(obs::now_ns()) * 1e-9;
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[vab:%s +%.6f t%02u] ", level_name(level),
+                t_s, obs::current_tid());
+
   // One mutex-guarded write per message: parallel_for workers log whole
   // lines, never interleaved fragments.
   static std::mutex emit_mu;
   std::string line;
-  line.reserve(msg.size() + 16);
-  line += "[vab:";
-  line += level_name(level);
-  line += "] ";
+  line.reserve(msg.size() + 40);
+  line += prefix;
   line += msg;
   line += '\n';
   std::lock_guard<std::mutex> lk(emit_mu);

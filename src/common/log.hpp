@@ -1,8 +1,15 @@
 // Minimal leveled logger. Global atomic level; emission is serialized by a
 // mutex so concurrent messages from parallel trial workers never interleave
 // mid-line. Writes to stderr so bench tables on stdout stay machine-parsable.
+//
+// The level defaults to warn and can be set at startup with
+// VAB_LOG=debug|info|warn|error|off. Each line is prefixed with the
+// monotonic timestamp (seconds since process start, obs::now_ns clock) and
+// the obs thread id, so log lines correlate with trace spans:
+//   [vab:INFO +0.014233 t01] message
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -12,6 +19,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses a VAB_LOG-style level name ("debug", "info", "warn"/"warning",
+/// "error", "off"/"none", case-insensitive); nullopt when unrecognized.
+std::optional<LogLevel> parse_log_level(const std::string& name);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

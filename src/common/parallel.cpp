@@ -9,6 +9,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace vab::common {
 
 namespace {
@@ -18,6 +20,28 @@ constexpr unsigned kMaxThreads = 256;
 thread_local bool t_in_worker = false;
 
 std::atomic<unsigned> g_override{0};
+
+// Engine observability: per-worker busy/idle time, task counts and the
+// submit→dequeue queue-wait histogram. Handles resolve once; recording is a
+// couple of relaxed atomic adds per *task* (one task = one helper's share of
+// a whole parallel_for), so the engine's hot path is untouched.
+struct EngineMetrics {
+  obs::Counter tasks = obs::counter("parallel.tasks");
+  obs::Counter loops = obs::counter("parallel.loops");
+  obs::Counter inline_loops = obs::counter("parallel.inline_loops");
+  obs::Counter busy_ns = obs::counter("parallel.worker_busy_ns");
+  obs::Counter idle_ns = obs::counter("parallel.worker_idle_ns");
+  obs::Gauge threads_gauge = obs::gauge("parallel.threads");
+  // 1µs .. 1s upper bounds, then overflow.
+  obs::Histogram queue_wait_ns = obs::histogram(
+      "parallel.queue_wait_ns",
+      {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000, 1'000'000'000});
+
+  static EngineMetrics& get() {
+    static EngineMetrics* m = new EngineMetrics;  // leaked: read at exit
+    return *m;
+  }
+};
 
 // Work-sharing pool: workers pull whole "helper" tasks from a FIFO queue.
 // Workers never block inside a task (nested loops run inline), so every
@@ -36,8 +60,11 @@ class Pool {
     while (workers_.size() < n) {
       workers_.emplace_back([this] {
         t_in_worker = true;
+        obs::set_thread_name("pool-worker");
+        EngineMetrics& m = EngineMetrics::get();
         for (;;) {
-          std::function<void()> task;
+          Task task;
+          const std::uint64_t t_wait = obs::now_ns();
           {
             std::unique_lock<std::mutex> lk2(mu_);
             cv_.wait(lk2, [this] { return stop_ || !queue_.empty(); });
@@ -45,7 +72,12 @@ class Pool {
             task = std::move(queue_.front());
             queue_.pop_front();
           }
-          task();
+          const std::uint64_t t_run = obs::now_ns();
+          m.idle_ns.add(t_run - t_wait);
+          m.queue_wait_ns.record(t_run - task.enqueue_ns);
+          m.tasks.inc();
+          task.fn();
+          m.busy_ns.add(obs::now_ns() - t_run);
         }
       });
     }
@@ -54,7 +86,7 @@ class Pool {
   void submit(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      queue_.push_back(std::move(task));
+      queue_.push_back(Task{std::move(task), obs::now_ns()});
     }
     cv_.notify_one();
   }
@@ -71,9 +103,14 @@ class Pool {
  private:
   Pool() = default;
 
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;  // submit time, for the queue-wait histogram
+  };
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   bool stop_ = false;
 };
@@ -132,7 +169,10 @@ unsigned thread_count() {
   return hardware_thread_count();
 }
 
-void set_thread_count(unsigned n) { g_override.store(std::min(n, kMaxThreads)); }
+void set_thread_count(unsigned n) {
+  g_override.store(std::min(n, kMaxThreads));
+  obs::set_manifest("threads", std::to_string(thread_count()));
+}
 
 bool in_parallel_worker() { return t_in_worker; }
 
@@ -146,9 +186,15 @@ void parallel_for(std::size_t begin, std::size_t end,
   // Serial fast path: one thread requested, or we're already inside a pool
   // worker (nested parallelism runs inline so the pool can never deadlock).
   if (threads <= 1 || t_in_worker) {
+    if (!t_in_worker) EngineMetrics::get().inline_loops.inc();
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
+
+  EngineMetrics& metrics = EngineMetrics::get();
+  metrics.loops.inc();
+  metrics.threads_gauge.set(static_cast<double>(threads));
+  VAB_SPAN("parallel_for");
 
   auto job = std::make_shared<Job>();
   // Shift the range to [0, n) so `next` starts at 0 regardless of `begin`.
@@ -162,7 +208,10 @@ void parallel_for(std::size_t begin, std::size_t end,
   pool.ensure_workers(helpers);
   for (unsigned h = 0; h < helpers; ++h) {
     pool.submit([job] {
-      job->drain();
+      {
+        VAB_SPAN("parallel.task");
+        job->drain();
+      }
       // Decrement and notify under the mutex so the Job cannot be released
       // between the caller's predicate check and our notify.
       std::lock_guard<std::mutex> lk(job->mu);

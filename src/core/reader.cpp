@@ -4,6 +4,7 @@
 
 #include "common/units.hpp"
 #include "dsp/mixer.hpp"
+#include "obs/obs.hpp"
 
 namespace vab::core {
 
@@ -32,6 +33,7 @@ std::size_t VabReader::uplink_bits(std::size_t payload_bytes) {
 
 UplinkDecode VabReader::decode_uplink(const rvec& passband,
                                       std::size_t payload_bytes) const {
+  VAB_STAGE("core.reader.decode_uplink");
   UplinkDecode out;
   out.demod = demod_.demodulate(passband, uplink_bits(payload_bytes));
   if (out.demod.sync_found) out.frame = net::parse_bits(out.demod.bits);

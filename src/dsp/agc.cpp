@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace vab::dsp {
 
 namespace {
@@ -34,12 +36,14 @@ cplx Agc::process(cplx x) {
 }
 
 rvec Agc::process(const rvec& x) {
+  VAB_STAGE("dsp.agc");
   rvec y(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
   return y;
 }
 
 cvec Agc::process(const cvec& x) {
+  VAB_STAGE("dsp.agc");
   cvec y(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
   return y;

@@ -5,7 +5,25 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace vab::net {
+
+namespace {
+// Discovery-round observability: slot accounting across all runs.
+struct DiscoveryMetrics {
+  obs::Counter rounds = obs::counter("net.discovery.rounds");
+  obs::Counter slots = obs::counter("net.discovery.slots");
+  obs::Counter singletons = obs::counter("net.discovery.singletons");
+  obs::Counter collisions = obs::counter("net.discovery.collisions");
+  obs::Counter empties = obs::counter("net.discovery.empties");
+
+  static DiscoveryMetrics& get() {
+    static DiscoveryMetrics* m = new DiscoveryMetrics;  // leaked: read at exit
+    return *m;
+  }
+};
+}  // namespace
 
 DiscoveryResult run_discovery(const std::vector<std::uint8_t>& population,
                               const DiscoveryConfig& cfg, common::Rng& rng) {
@@ -16,11 +34,14 @@ DiscoveryResult run_discovery(const std::vector<std::uint8_t>& population,
       throw std::invalid_argument("duplicate node addresses");
   }
 
+  VAB_STAGE("net.discovery");
+  DiscoveryMetrics& metrics = DiscoveryMetrics::get();
   DiscoveryResult result;
   std::set<std::uint8_t> pending(population.begin(), population.end());
   double qfp = static_cast<double>(cfg.initial_q);
 
   for (std::size_t round = 0; round < cfg.max_rounds && !pending.empty(); ++round) {
+    VAB_SPAN("net.discovery.round");
     DiscoveryRound r;
     r.q = static_cast<std::uint8_t>(std::clamp(std::lround(qfp), 0L,
                                                static_cast<long>(cfg.max_q)));
@@ -51,6 +72,12 @@ DiscoveryResult run_discovery(const std::vector<std::uint8_t>& population,
         qfp = std::min(static_cast<double>(cfg.max_q), qfp + cfg.q_step_up);
       }
     }
+
+    metrics.rounds.inc();
+    metrics.slots.add(r.slots);
+    metrics.singletons.add(r.singletons);
+    metrics.collisions.add(r.collisions);
+    metrics.empties.add(r.empties);
 
     for (auto addr : r.discovered) {
       pending.erase(addr);

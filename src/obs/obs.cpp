@@ -1,0 +1,58 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <mutex>
+
+namespace vab::obs {
+
+namespace {
+
+struct OutputState {
+  std::mutex mu;
+  std::string metrics_path;
+};
+
+OutputState& outputs() {
+  static OutputState* s = new OutputState;  // leaked: read from atexit
+  return *s;
+}
+
+void register_flush_once() {
+  static const bool registered = [] {
+    std::atexit([] { flush_outputs(); });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+void enable_metrics(std::string path) {
+  OutputState& s = outputs();
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.metrics_path = std::move(path);
+  }
+  register_flush_once();
+}
+
+std::string metrics_path() {
+  OutputState& s = outputs();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.metrics_path;
+}
+
+void init_from_env() {
+  if (const char* p = std::getenv("VAB_TRACE"); p && *p) {
+    enable_trace(p);
+    register_flush_once();
+  }
+  if (const char* p = std::getenv("VAB_METRICS"); p && *p) enable_metrics(p);
+}
+
+void flush_outputs() {
+  if (const std::string p = trace_path(); trace_enabled() && !p.empty()) write_trace(p);
+  if (const std::string p = metrics_path(); !p.empty()) write_metrics(p);
+}
+
+}  // namespace vab::obs

@@ -1,0 +1,89 @@
+// Scoped tracing: RAII spans recorded into per-thread ring buffers and
+// exported as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing).
+//
+// Cost model: when tracing is disabled (the default) a TraceSpan constructor
+// reads one relaxed atomic and returns; nothing else happens. When enabled,
+// each span costs two steady_clock reads and four relaxed-atomic stores into
+// a preallocated ring slot — no locks, no allocation. Rings overwrite their
+// oldest events when full (the drop count is reported in the export).
+//
+// Span names/categories must be string literals (or otherwise outlive the
+// process): rings store the pointers, not copies.
+//
+// The trace clock (`now_ns`) is monotonic nanoseconds since process start;
+// common::Log stamps its lines with the same clock and thread ids, so log
+// lines correlate with spans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vab::obs {
+
+/// Monotonic nanoseconds since process start (steady_clock based).
+std::uint64_t now_ns();
+
+/// Stable per-thread id: 0 for the thread that initialized the library
+/// (main, in practice), then 1, 2, ... in first-use order.
+std::uint32_t current_tid();
+
+/// Names the calling thread in trace exports (string literal required).
+void set_thread_name(const char* name);
+
+/// True when spans are being recorded.
+bool trace_enabled();
+
+/// Starts recording; `path` (may be empty) is where the atexit flush writes
+/// the trace. Tests pass "" and call write_trace / trace_json directly.
+void enable_trace(std::string path);
+void disable_trace();
+std::string trace_path();
+
+/// Records one complete ("ph":"X") event. Exposed for instrumentation
+/// helpers that already hold their own timestamps; most callers use
+/// TraceSpan / VAB_SPAN instead. No-op when tracing is disabled.
+void record_complete_event(const char* name, const char* cat, std::uint64_t t0_ns,
+                           std::uint64_t t1_ns);
+
+/// RAII span: records [construction, destruction) as a complete event on the
+/// calling thread. Spans nest naturally; viewers infer the hierarchy from
+/// containment on each thread track.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "vab")
+      : name_(name), cat_(cat) {
+    armed_ = trace_enabled();
+    if (armed_) t0_ = now_ns();
+  }
+  ~TraceSpan() {
+    if (armed_) record_complete_event(name_, cat_, t0_, now_ns());
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t t0_ = 0;
+  bool armed_ = false;
+};
+
+/// The full trace as Chrome trace-event JSON:
+///   {"traceEvents":[...], "displayTimeUnit":"ms",
+///    "otherData":{"manifest":{...},"droppedEvents":N}}
+/// Events are sorted by begin timestamp; thread-name metadata events are
+/// emitted for every thread that recorded at least one span.
+std::string trace_json();
+
+/// Writes trace_json() to `path`; false when the file cannot be opened.
+bool write_trace(const std::string& path);
+
+/// Number of span events currently buffered across all threads (tests).
+std::size_t trace_event_count();
+
+/// Drops all buffered events (tests). Not safe while spans are being
+/// recorded concurrently.
+void clear_trace();
+
+}  // namespace vab::obs

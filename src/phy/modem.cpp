@@ -10,6 +10,7 @@
 #include "dsp/fir.hpp"
 #include "dsp/mixer.hpp"
 #include "dsp/resample.hpp"
+#include "obs/obs.hpp"
 #include "phy/equalizer.hpp"
 #include "phy/fm0.hpp"
 #include "phy/miller.hpp"
@@ -100,6 +101,7 @@ ReaderDemodulator::ReaderDemodulator(PhyConfig cfg) : cfg_(cfg) {
 }
 
 cvec ReaderDemodulator::to_baseband(const rvec& passband, double* suppression_db) const {
+  VAB_STAGE("demod.baseband");
   // Downconvert, anti-alias, decimate.
   cvec bb = dsp::downconvert(passband, cfg_.carrier_hz, cfg_.fs_hz);
   // The anti-alias filter needs a very deep stopband: the -2fc mixing image
@@ -121,6 +123,7 @@ cvec ReaderDemodulator::to_baseband(const rvec& passband, double* suppression_db
     dec.push_back(bb[i]);
 
   // Self-interference cancellation.
+  VAB_STAGE("demod.sic");
   SelfInterferenceCanceller sic(cfg_.sic, cfg_.chip_rate_hz(), cfg_.fs_baseband_hz());
   cvec out = sic.process(dec);
   if (suppression_db) *suppression_db = sic.last_suppression_db();
@@ -156,7 +159,10 @@ DemodResult ReaderDemodulator::demodulate(const rvec& passband,
     ref[i] = cplx{pre_levels[std::min(c, pre_levels.size() - 1)] - pre_mean, 0.0};
   }
 
-  const auto peak = dsp::find_peak(bb, ref, cfg_.sync_threshold);
+  const auto peak = [&] {
+    VAB_STAGE("demod.sync");
+    return dsp::find_peak(bb, ref, cfg_.sync_threshold);
+  }();
   if (!peak) return res;
   res.sync_found = true;
   res.corr_peak = peak->value;
@@ -168,23 +174,26 @@ DemodResult ReaderDemodulator::demodulate(const rvec& passband,
   const std::size_t n_data = cfg_.chips_per_bit() * expected_bits;
   const std::size_t n_total = n_known + n_data;
   cvec chips(n_total, cplx{});
-  for (std::size_t c = 0; c < n_total; ++c) {
-    // Integrate the central 60% of the chip: the anti-alias filter smears
-    // the chip edges, and including them both biases the soft value and
-    // inflates the noise estimate.
-    const double t0 =
-        static_cast<double>(peak->index) + (static_cast<double>(c) + 0.2) * spc;
-    const double t1 = t0 + 0.6 * spc;
-    cplx acc{};
-    int cnt = 0;
-    for (double t = t0; t < t1 - 0.5; t += 1.0) {
-      if (t >= 0.0 && t < static_cast<double>(bb.size() - 1)) {
-        acc += dsp::sample_at(bb, t);
-        ++cnt;
+  {
+    VAB_STAGE("demod.chips");
+    for (std::size_t c = 0; c < n_total; ++c) {
+      // Integrate the central 60% of the chip: the anti-alias filter smears
+      // the chip edges, and including them both biases the soft value and
+      // inflates the noise estimate.
+      const double t0 =
+          static_cast<double>(peak->index) + (static_cast<double>(c) + 0.2) * spc;
+      const double t1 = t0 + 0.6 * spc;
+      cplx acc{};
+      int cnt = 0;
+      for (double t = t0; t < t1 - 0.5; t += 1.0) {
+        if (t >= 0.0 && t < static_cast<double>(bb.size() - 1)) {
+          acc += dsp::sample_at(bb, t);
+          ++cnt;
+        }
       }
+      if (cnt > 0) acc /= static_cast<double>(cnt);
+      chips[c] = acc;
     }
-    if (cnt > 0) acc /= static_cast<double>(cnt);
-    chips[c] = acc;
   }
 
   // Equalize using the known training chips (pilot + preamble): shallow-water
@@ -194,6 +203,7 @@ DemodResult ReaderDemodulator::demodulate(const rvec& passband,
   // fit fails.
   cplx derot = std::exp(cplx{0.0, -res.carrier_phase_rad});
   if (cfg_.enable_equalizer && n_known >= 2 * cfg_.channel_taps + 4) {
+    VAB_STAGE("demod.equalize");
     try {
       const cvec known_chips(chips.begin(),
                              chips.begin() + static_cast<std::ptrdiff_t>(n_known));
@@ -260,7 +270,10 @@ DemodResult ReaderDemodulator::demodulate(const rvec& passband,
     }
   }
 
-  res.bits = decode_uplink_soft(soft, cfg_.uplink_code);
+  {
+    VAB_STAGE("demod.decode");
+    res.bits = decode_uplink_soft(soft, cfg_.uplink_code);
+  }
 
   // Chip-SNR estimate: signal power from the mean magnitude, noise from the
   // spread around +/- that level.

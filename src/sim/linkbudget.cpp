@@ -6,6 +6,7 @@
 
 #include "channel/spreading.hpp"
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 #include "phy/ber.hpp"
 
 namespace vab::sim {
@@ -56,6 +57,9 @@ LinkBudget::BerStats LinkBudget::monte_carlo(double range_m, std::size_t trials,
     std::size_t errors = 0;
     double snr_db = 0.0;
   };
+  VAB_STAGE("linkbudget.monte_carlo");
+  static const obs::Counter trial_counter = obs::counter("linkbudget.trials");
+  trial_counter.add(trials);
   std::vector<Slot> slots(trials);
   common::parallel_for(0, trials, [&](std::size_t t) {
     common::Rng trial_rng = rng.child(t);
@@ -67,9 +71,12 @@ LinkBudget::BerStats LinkBudget::monte_carlo(double range_m, std::size_t trials,
   });
   BerStats stats;
   double snr_acc = 0.0;
-  for (const Slot& s : slots) {
-    stats.errors += s.errors;
-    snr_acc += s.snr_db;
+  {
+    VAB_STAGE("linkbudget.accumulate");
+    for (const Slot& s : slots) {
+      stats.errors += s.errors;
+      snr_acc += s.snr_db;
+    }
   }
   stats.bits = trials * bits_per_trial;
   stats.mean_snr_db = trials ? snr_acc / static_cast<double>(trials) : 0.0;

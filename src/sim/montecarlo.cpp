@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace vab::sim {
 
@@ -21,6 +22,7 @@ struct TrialSlot {
 
 WaveformStats fold_trials(const TrialSlot* slots, std::size_t n_trials,
                           std::size_t payload_bits) {
+  VAB_STAGE("sim.accumulate");
   WaveformStats stats;
   stats.trials = n_trials;
   for (std::size_t t = 0; t < n_trials; ++t) {
@@ -46,6 +48,8 @@ WaveformStats fold_trials(const TrialSlot* slots, std::size_t n_trials,
 
 TrialSlot run_one_trial(const Scenario& scenario, std::size_t payload_bits,
                         common::Rng trial_rng) {
+  static const obs::Counter trials = obs::counter("sim.trials");
+  trials.inc();
   WaveformSimulator sim(scenario, trial_rng);
   const bitvec payload = trial_rng.random_bits(payload_bits);
   const auto res = sim.run_trial(payload);
@@ -68,6 +72,7 @@ std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec&
   std::vector<SweepPoint> out;
   out.reserve(ranges.size());
   for (std::size_t i = 0; i < ranges.size(); ++i) {
+    VAB_SPAN("sim.sweep_point");
     common::Rng point_rng = rng.child(i);
     // monte_carlo fans its trials out over the pool internally.
     const auto stats = budget.monte_carlo(ranges[i], trials, bits_per_trial, point_rng);
@@ -84,6 +89,7 @@ std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec&
 
 WaveformStats run_waveform_trials(const Scenario& scenario, std::size_t n_trials,
                                   std::size_t payload_bits, common::Rng& rng) {
+  VAB_STAGE("sim.waveform_trials");
   std::vector<TrialSlot> slots(n_trials);
   common::parallel_for(0, n_trials, [&](std::size_t t) {
     slots[t] = run_one_trial(scenario, payload_bits, rng.child(t));
@@ -92,6 +98,7 @@ WaveformStats run_waveform_trials(const Scenario& scenario, std::size_t n_trials
 }
 
 std::vector<WaveformStats> run_waveform_batch(const std::vector<WaveformJob>& jobs) {
+  VAB_STAGE("sim.waveform_batch");
   // Flatten every (job, trial) pair into one index space.
   std::vector<std::size_t> offsets(jobs.size() + 1, 0);
   for (std::size_t j = 0; j < jobs.size(); ++j)

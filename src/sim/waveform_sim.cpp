@@ -6,6 +6,7 @@
 
 #include "common/units.hpp"
 #include "dsp/correlate.hpp"
+#include "obs/obs.hpp"
 #include "dsp/mixer.hpp"
 #include "phy/coding.hpp"
 #include "phy/fec.hpp"
@@ -53,10 +54,14 @@ rvec WaveformSimulator::node_reflection_sequence(const bitvec& payload,
 }
 
 WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
+  VAB_STAGE("wave.trial");
   const auto& phy = scenario_.phy;
   const double fs = phy.fs_hz;
   const double c = scenario_.env.sound_speed();
-  const bitvec air_bits = phy::FrameCodec(scenario_.fec).encode(payload);
+  const bitvec air_bits = [&] {
+    VAB_STAGE("wave.fec_encode");
+    return phy::FrameCodec(scenario_.fec).encode(payload);
+  }();
 
   // Channel tap sets. Tap gains follow the scenario's spreading law so the
   // waveform simulator and the analytic link budget agree on energetics.
@@ -89,29 +94,42 @@ WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
   fwd_cfg.surface_wave_amplitude_m = scenario_.env.surface_wave_amplitude_m;
   fwd_cfg.surface_wave_period_s = scenario_.env.surface_wave_period_s;
   channel::WaveformChannel fwd(fwd_cfg, *rng_);
-  const rvec incident = fwd.propagate_clean(tx);
+  const rvec incident = [&] {
+    VAB_STAGE("wave.channel.forward");
+    return fwd.propagate_clean(tx);
+  }();
 
   // Node reflection: the node starts its frame once the carrier reaches it
   // (carrier-detect trigger), i.e. after the direct forward delay.
   double fwd_direct_delay = fwd_taps.front().delay_s;
   for (const auto& t : fwd_taps) fwd_direct_delay = std::min(fwd_direct_delay, t.delay_s);
   const auto node_start = static_cast<std::size_t>(std::ceil(fwd_direct_delay * fs));
-  const rvec coef = node_reflection_sequence(air_bits, incident.size(), node_start);
   rvec reflected(incident.size());
-  for (std::size_t n = 0; n < incident.size(); ++n) reflected[n] = incident[n] * coef[n];
+  {
+    VAB_STAGE("wave.reflect");
+    const rvec coef = node_reflection_sequence(air_bits, incident.size(), node_start);
+    for (std::size_t n = 0; n < incident.size(); ++n)
+      reflected[n] = incident[n] * coef[n];
+  }
 
   // Return propagation.
   channel::WaveformChannelConfig ret_cfg = fwd_cfg;
   ret_cfg.taps = ret_taps;
   channel::WaveformChannel ret(ret_cfg, *rng_);
-  rvec rx = ret.propagate_clean(reflected);
+  rvec rx = [&] {
+    VAB_STAGE("wave.channel.return");
+    return ret.propagate_clean(reflected);
+  }();
 
   // Direct projector blast.
   channel::WaveformChannelConfig blast_cfg = fwd_cfg;
   blast_cfg.taps = blast_tap_set;
   blast_cfg.fading_sigma_db = 0.0;
   channel::WaveformChannel blast(blast_cfg, *rng_);
-  const rvec blast_rx = blast.propagate_clean(tx);
+  const rvec blast_rx = [&] {
+    VAB_STAGE("wave.channel.blast");
+    return blast.propagate_clean(tx);
+  }();
   if (blast_rx.size() > rx.size()) rx.resize(blast_rx.size(), 0.0);
   for (std::size_t n = 0; n < blast_rx.size(); ++n) rx[n] += blast_rx[n];
 
@@ -124,17 +142,24 @@ WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
                                  rx.begin() + static_cast<std::ptrdiff_t>(tail_end));
 
   // Ambient noise at the hydrophone.
-  const rvec noise =
-      channel::synthesize_ambient_noise(rx.size(), fs, scenario_.env.noise, *rng_);
-  for (std::size_t n = 0; n < rx.size(); ++n) rx[n] += noise[n];
+  {
+    VAB_STAGE("wave.noise");
+    const rvec noise =
+        channel::synthesize_ambient_noise(rx.size(), fs, scenario_.env.noise, *rng_);
+    for (std::size_t n = 0; n < rx.size(); ++n) rx[n] += noise[n];
+  }
 
   // Demodulate (and FEC-decode when the scenario runs coded).
   WaveformTrialResult res;
   res.tx_bits = payload;
   const phy::FrameCodec codec(scenario_.fec);
-  res.demod = demodulator_.demodulate(rx, codec.coded_size(payload.size()));
+  {
+    VAB_STAGE("wave.demod");
+    res.demod = demodulator_.demodulate(rx, codec.coded_size(payload.size()));
+  }
   if (res.demod.sync_found &&
       res.demod.bits.size() == codec.coded_size(payload.size())) {
+    VAB_STAGE("wave.fec_decode");
     std::size_t corrected = 0;
     const bitvec decoded = codec.decode(res.demod.bits, payload.size(), corrected);
     res.fec_corrections = corrected;

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validates the observability artifacts a bench run emits.
+
+Usage: check_obs.py METRICS_JSON TRACE_JSON
+
+Checks the metrics snapshot (schema vab-metrics-v1) and the Chrome trace
+(trace-event JSON as loaded by Perfetto / chrome://tracing):
+  - both parse and carry a complete run manifest,
+  - the metrics snapshot has the parallel-engine counters (worker busy/idle,
+    queue-wait histogram) and at least one per-stage pipeline timing,
+  - snapshot sections are alphabetically ordered (the determinism contract),
+  - histograms are shape-consistent (len(counts) == len(bounds) + 1),
+  - the trace contains well-formed complete events.
+
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+REQUIRED_MANIFEST_KEYS = ["build_type", "library", "threads", "version"]
+REQUIRED_COUNTERS = [
+    "parallel.tasks",
+    "parallel.worker_busy_ns",
+    "parallel.worker_idle_ns",
+]
+REQUIRED_HISTOGRAMS = ["parallel.queue_wait_ns"]
+
+
+def fail(msg):
+    print(f"check_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_manifest(manifest, where):
+    if not isinstance(manifest, dict):
+        fail(f"{where}: manifest is not an object")
+    for key in REQUIRED_MANIFEST_KEYS:
+        if key not in manifest:
+            fail(f"{where}: manifest missing '{key}'")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        snap = json.load(f)
+    if snap.get("schema") != "vab-metrics-v1":
+        fail(f"{path}: schema is {snap.get('schema')!r}, expected 'vab-metrics-v1'")
+    check_manifest(snap.get("manifest"), path)
+
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snap:
+            fail(f"{path}: missing '{section}' section")
+        keys = list(snap[section].keys())
+        if keys != sorted(keys):
+            fail(f"{path}: '{section}' keys are not alphabetically ordered")
+
+    counters = snap["counters"]
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            fail(f"{path}: counters missing '{name}'")
+        if not isinstance(counters[name], int) or counters[name] < 0:
+            fail(f"{path}: counter '{name}' is not a non-negative integer")
+    if not any(k.startswith("stage.") and k.endswith(".ns") for k in counters):
+        fail(f"{path}: no per-stage pipeline timing (stage.*.ns) counters")
+
+    for name, h in snap["histograms"].items():
+        for field in ("bounds", "counts", "count", "sum"):
+            if field not in h:
+                fail(f"{path}: histogram '{name}' missing '{field}'")
+        if len(h["counts"]) != len(h["bounds"]) + 1:
+            fail(f"{path}: histogram '{name}' has {len(h['counts'])} counts "
+                 f"for {len(h['bounds'])} bounds (want bounds+1)")
+        if sum(h["counts"]) != h["count"]:
+            fail(f"{path}: histogram '{name}' counts do not sum to 'count'")
+        if h["bounds"] != sorted(h["bounds"]):
+            fail(f"{path}: histogram '{name}' bounds are not ascending")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in snap["histograms"]:
+            fail(f"{path}: histograms missing '{name}'")
+
+    print(f"check_obs: {path}: ok "
+          f"({len(counters)} counters, {len(snap['histograms'])} histograms)")
+
+
+def check_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    check_manifest(trace.get("otherData", {}).get("manifest"), path)
+
+    complete, prev_ts = 0, None
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("X", "M"):
+            fail(f"{path}: unexpected event phase {ph!r}")
+        if ph != "X":
+            continue
+        complete += 1
+        for field in ("name", "ts", "dur", "pid", "tid"):
+            if field not in e:
+                fail(f"{path}: complete event missing '{field}': {e}")
+        if e["dur"] < 0:
+            fail(f"{path}: negative duration in {e}")
+        if prev_ts is not None and e["ts"] < prev_ts:
+            fail(f"{path}: complete events not sorted by ts")
+        prev_ts = e["ts"]
+    if complete == 0:
+        fail(f"{path}: no complete ('X') span events")
+
+    names = {e["name"] for e in events if e.get("ph") == "X"}
+    if not any(n.startswith(("wave.", "demod.", "linkbudget.", "sim.")) for n in names):
+        fail(f"{path}: no pipeline spans found (got {sorted(names)[:10]})")
+
+    print(f"check_obs: {path}: ok ({complete} spans, {len(names)} distinct names)")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_metrics(sys.argv[1])
+    check_trace(sys.argv[2])
+    print("check_obs: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
