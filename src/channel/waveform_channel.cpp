@@ -79,6 +79,9 @@ rvec WaveformChannel::propagate_clean(const rvec& tx) const {
 
 rvec WaveformChannel::propagate(const rvec& tx) const {
   rvec y = propagate_clean(tx);
+  // Injected impairment before the additive noise floor: a shadowing dip
+  // attenuates the signal, not the ambient field.
+  if (cfg_.fault && cfg_.fault->enabled()) cfg_.fault->apply_snr_dip(y);
   if (cfg_.add_noise) {
     const rvec noise = synthesize_ambient_noise(y.size(), cfg_.fs_hz, cfg_.noise, *rng_);
     for (std::size_t i = 0; i < y.size(); ++i) y[i] += noise[i];

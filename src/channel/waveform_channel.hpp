@@ -10,6 +10,7 @@
 #include "channel/noise.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 
 namespace vab::channel {
 
@@ -28,6 +29,11 @@ struct WaveformChannelConfig {
   /// taps (the time-varying channel that stresses the equalizer).
   double surface_wave_amplitude_m = 0.0;
   double surface_wave_period_s = 5.0;
+  /// Optional impairment hook: SNR dips (shadowing events) carved into the
+  /// propagated waveform. Null (the default) leaves the output bit-identical
+  /// to the pre-fault pipeline; the injector draws from its own stream, so
+  /// arming it never perturbs the channel Rng either.
+  fault::FaultInjector* fault = nullptr;
 };
 
 class WaveformChannel {

@@ -1,7 +1,10 @@
 #include "core/system.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+
+#include "fault/fault.hpp"
 
 #include "phy/ber.hpp"
 #include "phy/pie.hpp"
@@ -22,8 +25,14 @@ NetworkResult NetworkSimulator::run(std::size_t rounds, std::size_t payload_byte
 
   const std::size_t frame_bits = (4 + payload_bytes + 2) * 8;
   net::MacTiming timing = timing_;
-  timing.slot_payload_bytes = static_cast<double>(payload_bytes);
+  timing.slot_payload_bytes = payload_bytes;
   timing.uplink_bitrate_bps = scenario_.phy.bitrate_bps;
+
+  // Hostile-channel hook: burst loss / dropout from the scenario's fault
+  // plan, drawn from the injector's own stream (empty plan = no injector,
+  // bit-identical to the clean simulation).
+  std::optional<fault::FaultInjector> injector;
+  if (!scenario_.fault.empty()) injector.emplace(scenario_.fault);
 
   // Round = downlink announcement + guard + one slot per node.
   const double downlink_s = phy::pie_duration_s(frame_bits, phy::PieConfig{});
@@ -41,7 +50,9 @@ NetworkResult NetworkSimulator::run(std::size_t rounds, std::size_t payload_byte
       const double ber = budget.evaluate(nodes_[i].range_m, fade).ber;
       const double per = phy::packet_error_rate(ber, frame_bits);
       ++res.packets_attempted;
-      if (!rng.coin(per)) {
+      const bool impaired =
+          injector && (injector->reply_lost() || injector->dropped_out());
+      if (!rng.coin(per) && !impaired) {
         ++res.packets_delivered;
         ++delivered[i];
       }

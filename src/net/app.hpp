@@ -17,10 +17,14 @@ struct SensorReading {
   std::uint16_t battery_mv = 0; ///< storage-capacitor voltage (energy state)
 };
 
-/// Packs a reading into 6 bytes (2 per field, big-endian fixed point).
+/// Wire size of a packed reading (2 bytes per field). The MAC payload
+/// budget and the inventory engine size slots from this.
+inline constexpr std::size_t kReadingBytes = 6;
+
+/// Packs a reading into kReadingBytes (2 per field, big-endian fixed point).
 bytes encode_reading(const SensorReading& r);
 
-/// Unpacks; nullopt if the buffer is not exactly 6 bytes.
+/// Unpacks; nullopt if the buffer is not exactly kReadingBytes.
 std::optional<SensorReading> decode_reading(const bytes& data);
 
 /// Round-trip quantization error bounds, used by tests.

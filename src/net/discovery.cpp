@@ -48,9 +48,13 @@ DiscoveryResult run_discovery(const std::vector<std::uint8_t>& population,
     r.slots = static_cast<std::size_t>(1) << r.q;
     result.total_slots += r.slots;
 
-    // Every undiscovered node picks a slot uniformly.
+    // Every undiscovered node picks a slot uniformly. A duty-cycled node
+    // that sleeps through the announcement sits this round out entirely
+    // (fault-injection hook; draws come from the injector's own stream so
+    // the null-hook path is bit-identical).
     std::map<std::size_t, std::vector<std::uint8_t>> slot_map;
     for (auto addr : pending) {
+      if (cfg.fault && cfg.fault->wake_missed()) continue;
       const auto slot = static_cast<std::size_t>(
           rng.uniform_int(0, static_cast<long>(r.slots) - 1));
       slot_map[slot].push_back(addr);
@@ -63,8 +67,11 @@ DiscoveryResult run_discovery(const std::vector<std::uint8_t>& population,
         qfp = std::max(0.0, qfp - cfg.q_step_down);
       } else if (it->second.size() == 1) {
         ++r.singletons;
-        // Singleton decodes unless the channel eats it.
-        if (!rng.coin(cfg.reply_loss_prob)) {
+        // Singleton decodes unless the channel eats it — via the clean
+        // i.i.d. loss probability or an injected burst-loss episode.
+        const bool clean_loss = rng.coin(cfg.reply_loss_prob);
+        const bool burst_loss = cfg.fault && cfg.fault->reply_lost();
+        if (!clean_loss && !burst_loss) {
           r.discovered.push_back(it->second.front());
         }
       } else {

@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 
 namespace vab::net {
 
@@ -29,6 +30,11 @@ struct DiscoveryConfig {
   std::size_t max_rounds = 64;
   /// Probability that a singleton reply is lost to channel errors.
   double reply_loss_prob = 0.0;
+  /// Optional impairment hook: burst reply loss (Gilbert–Elliott) on
+  /// singleton replies and wake-misses that keep a node out of a round.
+  /// Null (the default) is bit-identical to pre-fault behaviour — the
+  /// injector draws from its own stream, never from the discovery Rng.
+  fault::FaultInjector* fault = nullptr;
 };
 
 enum class SlotOutcome : std::uint8_t { kEmpty, kSingleton, kCollision };

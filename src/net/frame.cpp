@@ -20,19 +20,52 @@ bytes serialize(const Frame& f) {
 
 bitvec serialize_bits(const Frame& f) { return phy::bits_from_bytes(serialize(f)); }
 
-std::optional<Frame> parse(const bytes& wire) {
+const char* parse_error_name(ParseError e) {
+  switch (e) {
+    case ParseError::kOk: return "ok";
+    case ParseError::kTooShort: return "too_short";
+    case ParseError::kTooLong: return "too_long";
+    case ParseError::kBadCrc: return "bad_crc";
+    case ParseError::kLengthMismatch: return "length_mismatch";
+    case ParseError::kBadType: return "bad_type";
+  }
+  return "unknown";
+}
+
+namespace {
+bool known_frame_type(std::uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kQuery:
+    case FrameType::kQueryAll:
+    case FrameType::kSensorReport:
+    case FrameType::kAck:
+    case FrameType::kAssignSlot:
+      return true;
+  }
+  return false;
+}
+}  // namespace
+
+ParseResult parse_checked(const bytes& wire) {
+  // Structural bounds first: no byte of a mis-sized buffer is interpreted.
+  if (wire.size() < kMinWireSize) return {std::nullopt, ParseError::kTooShort};
+  if (wire.size() > kMaxWireSize) return {std::nullopt, ParseError::kTooLong};
   bytes body;
-  if (!phy::check_and_strip_crc(wire, body)) return std::nullopt;
-  if (body.size() < 4) return std::nullopt;
+  if (!phy::check_and_strip_crc(wire, body)) return {std::nullopt, ParseError::kBadCrc};
+  // The len field must account for exactly the bytes present — a lying
+  // length can therefore never drive a read past the buffer.
+  const std::size_t len = body[3];
+  if (body.size() != 4 + len) return {std::nullopt, ParseError::kLengthMismatch};
+  if (!known_frame_type(body[1])) return {std::nullopt, ParseError::kBadType};
   Frame f;
   f.addr = body[0];
   f.type = static_cast<FrameType>(body[1]);
   f.seq = body[2];
-  const std::size_t len = body[3];
-  if (body.size() != 4 + len) return std::nullopt;
   f.payload.assign(body.begin() + 4, body.end());
-  return f;
+  return {f, ParseError::kOk};
 }
+
+std::optional<Frame> parse(const bytes& wire) { return parse_checked(wire).frame; }
 
 std::optional<Frame> parse_bits(const bitvec& wire_bits) {
   if (wire_bits.size() % 8 != 0) return std::nullopt;

@@ -39,11 +39,38 @@ bytes serialize(const Frame& f);
 /// Serialized frame as bits (MSB-first), ready for the PHY.
 bitvec serialize_bits(const Frame& f);
 
+/// Why a wire buffer failed to parse. Every rejection is classified before
+/// any payload byte is read, so malformed length fields can never index
+/// past the buffer.
+enum class ParseError : std::uint8_t {
+  kOk = 0,
+  kTooShort,        ///< shorter than header + CRC (truncated frame)
+  kTooLong,         ///< longer than header + kMaxPayload + CRC
+  kBadCrc,          ///< CRC-16 mismatch (corruption)
+  kLengthMismatch,  ///< len field disagrees with the buffer size
+  kBadType,         ///< type byte is not a known FrameType
+};
+
+/// Human-readable name for a ParseError (logs and test failure messages).
+const char* parse_error_name(ParseError e);
+
+struct ParseResult {
+  std::optional<Frame> frame;       ///< engaged iff error == kOk
+  ParseError error = ParseError::kOk;
+};
+
+/// Parses with explicit error classification; `frame` is engaged only when
+/// every structural check and the CRC pass.
+ParseResult parse_checked(const bytes& wire);
+
 /// Parses and CRC-checks; nullopt on malformed/corrupt input.
 std::optional<Frame> parse(const bytes& wire);
 std::optional<Frame> parse_bits(const bitvec& wire_bits);
 
 /// Maximum payload bytes (len field is one byte).
 inline constexpr std::size_t kMaxPayload = 255;
+/// Smallest/largest possible wire frames: header + [0, kMaxPayload] + CRC.
+inline constexpr std::size_t kMinWireSize = 4 + 2;
+inline constexpr std::size_t kMaxWireSize = 4 + kMaxPayload + 2;
 
 }  // namespace vab::net

@@ -1,0 +1,164 @@
+#include "net/inventory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace vab::net {
+
+namespace {
+
+// One poll of one node: everything that can go wrong on the way down, up,
+// and back down with the ACK.
+enum class PollOutcome : std::uint8_t { kDelivered, kDuplicate, kMiss };
+
+struct PollContext {
+  const InventoryConfig& cfg;
+  fault::FaultInjector* fault;
+  common::Rng& rng;
+  ReaderMac& reader;
+  InventoryResult& res;
+};
+
+double downlink_duration_s(const MacTiming& t, const Frame& f) {
+  return static_cast<double>(f.wire_size() * 8) / t.downlink_bitrate_bps;
+}
+
+PollOutcome poll_once(PollContext& ctx, NodeMac& node, const SensorReading& reading) {
+  const MacTiming& t = ctx.cfg.timing;
+  const Frame query = ctx.reader.make_query(node.address());
+  ++ctx.res.polls;
+  ctx.res.duration_s += downlink_duration_s(t, query);
+
+  // Downlink: a duty-cycled node can sleep through the query, a dropped-out
+  // node is dark for the whole exchange.
+  if (ctx.fault && (ctx.fault->dropped_out() || ctx.fault->wake_missed())) {
+    ctx.res.duration_s += t.reply_timeout_s();
+    return PollOutcome::kMiss;
+  }
+
+  auto response = node.on_downlink(query, reading);
+  if (!response) {
+    ctx.res.duration_s += t.reply_timeout_s();
+    return PollOutcome::kMiss;
+  }
+  ctx.res.duration_s += t.guard_s + t.slot_duration_s();
+
+  // Uplink: clean-channel i.i.d. loss, burst loss, frame corruption, and
+  // clock skew pushing the reply out of the reader's slot window.
+  if (ctx.rng.coin(ctx.cfg.reply_loss_prob)) return PollOutcome::kMiss;
+  if (ctx.fault && ctx.fault->reply_lost()) return PollOutcome::kMiss;
+  bytes wire = serialize(response->frame);
+  if (ctx.fault) {
+    if (ctx.fault->corrupt_frame(wire) == fault::FrameFate::kDropped)
+      return PollOutcome::kMiss;
+    const double skew = ctx.fault->clock_skew_s(t.slot_duration_s());
+    if (std::abs(skew) > t.reply_timeout_s() - t.slot_duration_s())
+      return PollOutcome::kMiss;
+  }
+  const ParseResult parsed = parse_checked(wire);
+  if (!parsed.frame || parsed.frame->type != FrameType::kSensorReport)
+    return PollOutcome::kMiss;
+
+  const ReaderMac::UplinkEvent ev = ctx.reader.on_report(*parsed.frame);
+
+  // ACK downlink (both for fresh and duplicate reports); a lost ACK leaves
+  // the node awaiting and the next poll returns a deduped duplicate.
+  const Frame ack = ctx.reader.make_ack(parsed.frame->addr, parsed.frame->seq);
+  ++ctx.res.acks_sent;
+  ctx.res.duration_s += downlink_duration_s(t, ack);
+  const bool ack_lost = ctx.rng.coin(ctx.cfg.ack_loss_prob) ||
+                        (ctx.fault && ctx.fault->wake_missed());
+  if (ack_lost) {
+    ++ctx.res.acks_lost;
+  } else {
+    node.on_downlink(ack, reading);
+  }
+  return ev == ReaderMac::UplinkEvent::kDuplicate ? PollOutcome::kDuplicate
+                                                  : PollOutcome::kDelivered;
+}
+
+}  // namespace
+
+InventoryResult run_inventory(const std::vector<std::uint8_t>& population,
+                              const InventoryConfig& cfg,
+                              fault::FaultInjector* fault, common::Rng& rng) {
+  if (population.empty()) throw std::invalid_argument("empty population");
+  VAB_STAGE("net.inventory");
+
+  InventoryResult res;
+  res.nodes = population.size();
+  ReaderMac reader(cfg.timing, cfg.arq);
+  std::vector<NodeMac> nodes;
+  nodes.reserve(population.size());
+  for (auto addr : population) nodes.emplace_back(addr, cfg.timing);
+
+  std::vector<std::size_t> pending(population.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+
+  PollContext ctx{cfg, fault, rng, reader, res};
+  const double slot_s = cfg.timing.slot_duration_s();
+
+  while (!pending.empty() && res.polls < cfg.max_polls) {
+    VAB_SPAN("net.inventory.round");
+    ++res.rounds;
+    std::vector<std::size_t> still_pending;
+    for (std::size_t idx : pending) {
+      NodeMac& node = nodes[idx];
+      // Each node reports its current reading; the payload content does not
+      // influence the protocol, only the frame length does.
+      const SensorReading reading{12.0 + static_cast<double>(node.address()), 101.3,
+                                  2900};
+      bool done = false;
+      bool demoted = false;
+      // Stop-and-wait with a per-report retry budget: first attempt plus
+      // cfg.arq.max_retries re-polls with exponential backoff.
+      for (std::size_t attempt = 0; attempt <= cfg.arq.max_retries; ++attempt) {
+        if (res.polls >= cfg.max_polls) break;
+        const PollOutcome out = poll_once(ctx, node, reading);
+        if (out == PollOutcome::kDelivered || out == PollOutcome::kDuplicate) {
+          // A duplicate means the previous report *was* received: the node
+          // is inventoried either way once the ACK finally lands.
+          done = true;
+          break;
+        }
+        const ReaderMac::MissAction action = reader.on_miss(node.address());
+        ++res.timeouts;
+        if (action == ReaderMac::MissAction::kDemote) {
+          reader.demote(node.address());
+          ++res.demotions;
+          demoted = true;
+          break;
+        }
+        if (attempt < cfg.arq.max_retries) {
+          ++res.retries;
+          res.duration_s +=
+              static_cast<double>(reader.backoff_slots(node.address())) * slot_s;
+        }
+      }
+      if (done) {
+        ++res.delivered;
+      } else if (demoted) {
+        // Re-discovery: the node is re-acquired via slotted Aloha at a fixed
+        // airtime cost and rejoins the pending set with fresh ARQ state.
+        res.duration_s += static_cast<double>(cfg.rediscovery_penalty_slots) * slot_s;
+        ++res.rediscoveries;
+        still_pending.push_back(idx);
+      } else {
+        // Retry budget spent: park the node and come back next round.
+        ++res.budget_exhaustions;
+        still_pending.push_back(idx);
+      }
+    }
+    pending = std::move(still_pending);
+  }
+
+  res.complete = res.delivered == res.nodes;
+  res.duplicates = 0;
+  for (const auto& [addr, st] : reader.stats()) res.duplicates += st.duplicates;
+  return res;
+}
+
+}  // namespace vab::net

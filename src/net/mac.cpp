@@ -1,13 +1,32 @@
 #include "net/mac.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace vab::net {
+
+namespace {
+// ARQ accounting across all readers: the protocol's cost under impairment.
+struct ArqMetrics {
+  obs::Counter acks = obs::counter("net.arq.acks");
+  obs::Counter duplicates = obs::counter("net.arq.duplicates");
+  obs::Counter retries = obs::counter("net.arq.retries");
+  obs::Counter timeouts = obs::counter("net.arq.timeouts");
+  obs::Counter demotions = obs::counter("net.arq.demotions");
+
+  static ArqMetrics& get() {
+    static ArqMetrics* m = new ArqMetrics;  // leaked: read at exit
+    return *m;
+  }
+};
+}  // namespace
 
 double MacTiming::slot_duration_s() const {
   // Frame: 4 header + payload + 2 CRC bytes, FM0 preamble/idle overhead
   // approximated as 10 ms, plus 20% margin.
-  const double bits = (4.0 + slot_payload_bytes + 2.0) * 8.0;
+  const double bits = (4.0 + static_cast<double>(slot_payload_bytes) + 2.0) * 8.0;
   return 1.2 * (bits / uplink_bitrate_bps + 0.010);
 }
 
@@ -24,14 +43,24 @@ std::optional<NodeMac::Response> NodeMac::on_downlink(const Frame& dl,
       slot_ = dl.payload[0];
       return std::nullopt;
     }
+    case FrameType::kAck: {
+      // Reader confirmed our outstanding seq: advance the window.
+      if (dl.addr != addr_ || dl.payload.size() != 1) return std::nullopt;
+      if (awaiting_ack_ && dl.payload[0] == seq_) {
+        ++seq_;
+        awaiting_ack_ = false;
+      }
+      return std::nullopt;
+    }
     case FrameType::kQuery: {
       if (dl.addr != addr_ && dl.addr != kBroadcastAddr) return std::nullopt;
       Response r;
       r.frame.addr = addr_;
       r.frame.type = FrameType::kSensorReport;
-      r.frame.seq = seq_++;
+      r.frame.seq = seq_;  // unchanged until ACKed: retransmissions dedupe on it
       r.frame.payload = encode_reading(reading);
       r.tx_offset_s = timing_.guard_s;
+      awaiting_ack_ = true;
       return r;
     }
     case FrameType::kQueryAll: {
@@ -41,20 +70,20 @@ std::optional<NodeMac::Response> NodeMac::on_downlink(const Frame& dl,
       Response r;
       r.frame.addr = addr_;
       r.frame.type = FrameType::kSensorReport;
-      r.frame.seq = seq_++;
+      r.frame.seq = seq_;
       r.frame.payload = encode_reading(reading);
       r.tx_offset_s = timing_.guard_s +
                       static_cast<double>(slot_) * timing_.slot_duration_s();
+      awaiting_ack_ = true;
       return r;
     }
     case FrameType::kSensorReport:
-    case FrameType::kAck:
-      return std::nullopt;  // uplink types; ignore on the downlink
+      return std::nullopt;  // uplink type; ignore on the downlink
   }
   return std::nullopt;
 }
 
-ReaderMac::ReaderMac(MacTiming timing) : timing_(timing) {}
+ReaderMac::ReaderMac(MacTiming timing, ArqConfig arq) : timing_(timing), arq_(arq) {}
 
 Frame ReaderMac::make_query(std::uint8_t addr) {
   Frame f;
@@ -82,12 +111,68 @@ Frame ReaderMac::make_slot_assignment(std::uint8_t addr, std::uint8_t slot) {
   return f;
 }
 
+Frame ReaderMac::make_ack(std::uint8_t addr, std::uint8_t seq) {
+  Frame f;
+  f.addr = addr;
+  f.type = FrameType::kAck;
+  f.seq = seq_++;
+  f.payload = {seq};
+  ArqMetrics::get().acks.inc();
+  return f;
+}
+
+ReaderMac::UplinkEvent ReaderMac::on_report(const Frame& report) {
+  ArqState& st = arq_state_[report.addr];
+  NodeStats& ns = stats_[report.addr];
+  if (st.have_seq && st.last_seq == report.seq) {
+    // Our ACK was lost and the node retransmitted: re-ACK, don't re-count.
+    ++ns.duplicates;
+    ArqMetrics::get().duplicates.inc();
+    st.consecutive_misses = 0;
+    return UplinkEvent::kDuplicate;
+  }
+  st.have_seq = true;
+  st.last_seq = report.seq;
+  st.consecutive_misses = 0;
+  ++ns.delivered;
+  return UplinkEvent::kDelivered;
+}
+
 void ReaderMac::on_uplink(std::uint8_t addr, bool crc_ok) {
   auto& s = stats_[addr];
   if (crc_ok)
     ++s.delivered;
   else
     ++s.corrupted;
+}
+
+ReaderMac::MissAction ReaderMac::on_miss(std::uint8_t addr) {
+  ArqState& st = arq_state_[addr];
+  NodeStats& ns = stats_[addr];
+  ++st.consecutive_misses;
+  ++ns.timeouts;
+  ArqMetrics::get().timeouts.inc();
+  if (st.consecutive_misses > arq_.demote_after_misses) return MissAction::kDemote;
+  ++ns.retries;
+  ArqMetrics::get().retries.inc();
+  return MissAction::kRetry;
+}
+
+std::size_t ReaderMac::backoff_slots(std::uint8_t addr) const {
+  const auto it = arq_state_.find(addr);
+  const std::size_t misses = it == arq_state_.end() ? 0 : it->second.consecutive_misses;
+  if (misses == 0) return 0;
+  // base * 2^(misses-1), saturating at the ceiling without overflow.
+  std::size_t slots = std::max<std::size_t>(arq_.backoff_base_slots, 1);
+  for (std::size_t i = 1; i < misses && slots < arq_.backoff_ceiling_slots; ++i)
+    slots *= 2;
+  return std::min(slots, arq_.backoff_ceiling_slots);
+}
+
+void ReaderMac::demote(std::uint8_t addr) {
+  arq_state_.erase(addr);
+  ++stats_[addr].demotions;
+  ArqMetrics::get().demotions.inc();
 }
 
 }  // namespace vab::net

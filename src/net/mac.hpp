@@ -5,8 +5,16 @@
 // reader's carrier to reflect). The MAC is therefore reader-driven, like
 // RFID inventory: the reader either polls one address (kQuery) or announces
 // a TDMA round (kQueryAll) in which node i backscatters in slot i.
+//
+// Delivery guarantees ride on a stop-and-wait ARQ per node: the reader ACKs
+// every decoded report (kAck), the node advances its sequence number only on
+// ACK and otherwise retransmits the same seq, and the reader dedupes on seq
+// so a lost ACK cannot double-count a reading. Misses are retried with
+// exponential backoff up to a budget; a node missing too many consecutive
+// polls is demoted back to discovery instead of stalling the inventory.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -23,10 +31,21 @@ struct MacTiming {
   /// Guard time between downlink end and the first uplink slot, covering the
   /// worst-case round-trip propagation (e.g. 2*500 m / 1500 m/s).
   double guard_s = 0.7;
-  double slot_payload_bytes = 12;      ///< frame payload budget per slot
+  std::size_t slot_payload_bytes = 12;  ///< frame payload budget per slot
 
   /// Uplink slot duration in seconds (frame wire bits / bitrate + margin).
   double slot_duration_s() const;
+  /// Reader-side reply timeout for one poll: the slot plus half a slot of
+  /// tolerance. Replies skewed past this window count as misses.
+  double reply_timeout_s() const { return 1.5 * slot_duration_s(); }
+};
+
+/// Retransmission policy for the reader-driven ARQ.
+struct ArqConfig {
+  std::size_t max_retries = 6;          ///< extra attempts per report after the first
+  std::size_t backoff_base_slots = 1;   ///< backoff after the first miss, in slots
+  std::size_t backoff_ceiling_slots = 8;  ///< exponential backoff saturates here
+  std::size_t demote_after_misses = 12;  ///< consecutive misses before re-discovery
 };
 
 /// Node-side MAC state machine: consumes parsed downlink frames, produces
@@ -40,25 +59,31 @@ class NodeMac {
     double tx_offset_s = 0.0;  ///< when to start backscattering, after downlink end
   };
 
-  /// Handles a downlink frame; returns the uplink response, if any.
+  /// Handles a downlink frame; returns the uplink response, if any. A
+  /// repeated query without an intervening ACK retransmits the same seq
+  /// (stop-and-wait: the reader dedupes duplicates on it).
   std::optional<Response> on_downlink(const Frame& downlink, const SensorReading& reading);
 
   std::uint8_t address() const { return addr_; }
   std::uint8_t tdma_slot() const { return slot_; }
   std::uint8_t next_seq() const { return seq_; }
+  /// True while a report is outstanding (sent but not yet ACKed).
+  bool awaiting_ack() const { return awaiting_ack_; }
 
  private:
   std::uint8_t addr_;
   MacTiming timing_;
   std::uint8_t slot_;  ///< TDMA slot index; defaults to address
   std::uint8_t seq_ = 0;
+  bool awaiting_ack_ = false;
 };
 
-/// Reader-side MAC: issues queries, assigns slots, tracks per-node delivery
+/// Reader-side MAC: issues queries, assigns slots, ACKs reports, schedules
+/// retries with exponential backoff, and tracks per-node delivery
 /// statistics across rounds.
 class ReaderMac {
  public:
-  explicit ReaderMac(MacTiming timing);
+  explicit ReaderMac(MacTiming timing, ArqConfig arq = {});
 
   /// Downlink frame polling a single node.
   Frame make_query(std::uint8_t addr);
@@ -66,13 +91,48 @@ class ReaderMac {
   Frame make_round_announcement(std::uint8_t n_slots);
   /// Downlink frame assigning `slot` to `addr`.
   Frame make_slot_assignment(std::uint8_t addr, std::uint8_t slot);
+  /// Downlink frame acknowledging receipt of `seq` from `addr`.
+  Frame make_ack(std::uint8_t addr, std::uint8_t seq);
 
-  /// Records an uplink result for statistics.
+  /// How an uplink event advanced the per-node ARQ state.
+  enum class UplinkEvent : std::uint8_t {
+    kDelivered,  ///< new report accepted (send ACK)
+    kDuplicate,  ///< same seq as an already-ACKed report (re-ACK, don't count)
+    kCorrupt,    ///< CRC failure: treated as a miss
+  };
+
+  /// What the reader should do after a miss (timeout or corrupt reply).
+  enum class MissAction : std::uint8_t {
+    kRetry,   ///< poll again after `backoff_slots()` slots
+    kDemote,  ///< give the node up to re-discovery
+  };
+
+  /// Classifies a decoded report frame against the ARQ state and returns
+  /// the event; on kDelivered/kDuplicate the caller sends `make_ack`.
+  UplinkEvent on_report(const Frame& report);
+
+  /// Records an uplink result for statistics (corrupt replies feed the
+  /// retry path via `on_miss`).
   void on_uplink(std::uint8_t addr, bool crc_ok);
+
+  /// Registers a miss (reply timeout or CRC failure) for `addr` and
+  /// advances retries/backoff. Returns the action the schedule should take.
+  MissAction on_miss(std::uint8_t addr);
+
+  /// Current backoff delay for `addr`, in uplink slots (exponential in the
+  /// consecutive-miss count, saturating at the ceiling).
+  std::size_t backoff_slots(std::uint8_t addr) const;
+
+  /// Forgets ARQ state for a demoted node (it will be re-discovered).
+  void demote(std::uint8_t addr);
 
   struct NodeStats {
     std::size_t delivered = 0;
     std::size_t corrupted = 0;
+    std::size_t duplicates = 0;
+    std::size_t retries = 0;
+    std::size_t timeouts = 0;
+    std::size_t demotions = 0;
     double delivery_rate() const {
       const std::size_t total = delivered + corrupted;
       return total ? static_cast<double>(delivered) / static_cast<double>(total) : 0.0;
@@ -81,11 +141,20 @@ class ReaderMac {
 
   const std::map<std::uint8_t, NodeStats>& stats() const { return stats_; }
   const MacTiming& timing() const { return timing_; }
+  const ArqConfig& arq() const { return arq_; }
 
  private:
+  struct ArqState {
+    bool have_seq = false;
+    std::uint8_t last_seq = 0;        ///< last ACKed sequence number
+    std::size_t consecutive_misses = 0;
+  };
+
   MacTiming timing_;
+  ArqConfig arq_;
   std::uint8_t seq_ = 0;
   std::map<std::uint8_t, NodeStats> stats_;
+  std::map<std::uint8_t, ArqState> arq_state_;
 };
 
 }  // namespace vab::net

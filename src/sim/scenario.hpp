@@ -8,6 +8,7 @@
 #include "channel/noise.hpp"
 #include "channel/soundspeed.hpp"
 #include "channel/spreading.hpp"
+#include "fault/fault.hpp"
 #include "phy/fec.hpp"
 #include "phy/modem.hpp"
 #include "vanatta/array.hpp"
@@ -65,6 +66,10 @@ struct Scenario {
   /// Frame FEC (Hamming(7,4) + interleaver); off at the paper's operating
   /// point, on for the coded-link extension.
   phy::FecConfig fec{false};
+  /// Scheduled impairments (burst loss, SNR dips, node dropout). Empty by
+  /// default: every pre-fault scenario is bit-identical with the hook
+  /// compiled in.
+  fault::FaultPlan fault{};
 };
 
 /// Calibration constant: backscatter target strength of a single *ideal*
@@ -82,6 +87,10 @@ std::vector<channel::PathTap> blast_taps(const Scenario& s);
 Scenario vab_river_scenario();
 /// Same node in the ocean profile (experiment E4).
 Scenario vab_ocean_scenario();
+/// River deployment under a hostile channel: Gilbert–Elliott burst loss at
+/// ~20% mean, duty-cycle wake misses, occasional shadowing dips — the
+/// impairment-sweep workload (experiment EXT-5).
+Scenario hostile_river_scenario();
 /// Prior-art single-element backscatter baseline (PAB): one unmatched
 /// element, on-off keying — the 15x comparison point (experiment E5).
 Scenario pab_river_scenario();

@@ -19,6 +19,7 @@ WaveformSimulator::WaveformSimulator(Scenario scenario, common::Rng& rng)
       array_(scenario_.node.array),
       modulator_(scenario_.phy),
       demodulator_(scenario_.phy) {
+  if (!scenario_.fault.empty()) fault_.emplace(scenario_.fault);
   const double fc = scenario_.phy.carrier_hz;
   const double theta = scenario_.node.orientation_rad;
   const cplx r1 = array_.bistatic_response(theta, theta, fc, 1);
@@ -112,13 +113,15 @@ WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
       reflected[n] = incident[n] * coef[n];
   }
 
-  // Return propagation.
+  // Return propagation. The fault hook (SNR dips) bites on this leg only:
+  // shadowing the weak backscatter, not the projector blast.
   channel::WaveformChannelConfig ret_cfg = fwd_cfg;
   ret_cfg.taps = ret_taps;
+  ret_cfg.fault = fault_ ? &*fault_ : nullptr;
   channel::WaveformChannel ret(ret_cfg, *rng_);
   rvec rx = [&] {
     VAB_STAGE("wave.channel.return");
-    return ret.propagate_clean(reflected);
+    return ret.propagate(reflected);  // add_noise is off: clean + injected dips
   }();
 
   // Direct projector blast.

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "channel/waveform_channel.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "phy/modem.hpp"
 #include "sim/scenario.hpp"
 
@@ -50,6 +52,9 @@ class WaveformSimulator {
 
   Scenario scenario_;
   common::Rng* rng_;
+  /// Engaged when the scenario carries a non-empty FaultPlan; applied to the
+  /// return leg (SNR dips on the backscattered signal).
+  std::optional<fault::FaultInjector> fault_;
   vanatta::VanAttaArray array_;
   phy::BackscatterModulator modulator_;
   phy::ReaderDemodulator demodulator_;

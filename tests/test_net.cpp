@@ -5,6 +5,7 @@
 #include "net/app.hpp"
 #include "net/frame.hpp"
 #include "net/mac.hpp"
+#include "phy/coding.hpp"
 
 namespace vab::net {
 namespace {
@@ -61,8 +62,83 @@ TEST(Frame, WireSizeAndLimits) {
   Frame f;
   f.payload.assign(255, 0xAA);
   EXPECT_EQ(serialize(f).size(), f.wire_size());
+  EXPECT_EQ(serialize(f).size(), kMaxWireSize);
   f.payload.assign(256, 0xAA);
   EXPECT_THROW(serialize(f), std::invalid_argument);
+}
+
+TEST(Frame, ParseCheckedClassifiesErrors) {
+  Frame f;
+  f.addr = 4;
+  f.type = FrameType::kSensorReport;
+  f.payload = {1, 2, 3};
+  const bytes wire = serialize(f);
+
+  EXPECT_EQ(parse_checked(wire).error, ParseError::kOk);
+  EXPECT_EQ(parse_checked(bytes{}).error, ParseError::kTooShort);
+  EXPECT_EQ(parse_checked(bytes(kMinWireSize - 1, 0)).error, ParseError::kTooShort);
+  EXPECT_EQ(parse_checked(bytes(kMaxWireSize + 1, 0)).error, ParseError::kTooLong);
+
+  bytes corrupt = wire;
+  corrupt.back() ^= 0x01;
+  EXPECT_EQ(parse_checked(corrupt).error, ParseError::kBadCrc);
+
+  // A lying length field with a *recomputed* CRC must still be rejected —
+  // this is the case plain CRC checking does not cover.
+  bytes lying(wire.begin(), wire.end() - 2);
+  lying[3] = 200;
+  lying = phy::append_crc(lying);
+  EXPECT_EQ(parse_checked(lying).error, ParseError::kLengthMismatch);
+
+  // Unknown type byte, CRC valid.
+  bytes bad_type(wire.begin(), wire.end() - 2);
+  bad_type[1] = 0x7F;
+  bad_type = phy::append_crc(bad_type);
+  EXPECT_EQ(parse_checked(bad_type).error, ParseError::kBadType);
+}
+
+TEST(Frame, FuzzMutationsNeverYieldInvalidFrames) {
+  // Random truncations, extensions and byte mutations of valid frames: the
+  // parser must never accept a frame that does not re-serialize to exactly
+  // the bytes it was handed (and must never read past the buffer — ASan/
+  // valgrind would catch that here).
+  common::Rng rng(0xF022);
+  for (int trial = 0; trial < 500; ++trial) {
+    Frame f;
+    f.addr = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    f.type = FrameType::kSensorReport;
+    f.seq = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 32));
+    f.payload.resize(n);
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    bytes wire = serialize(f);
+
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // truncate anywhere, including to zero
+        wire.resize(static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<long>(wire.size()))));
+        break;
+      case 1:  // extend with garbage
+        for (long k = rng.uniform_int(1, 300); k > 0; --k)
+          wire.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+        break;
+      default:  // mutate 1-4 random bytes
+        for (long k = rng.uniform_int(1, 4); k > 0 && !wire.empty(); --k) {
+          const auto i = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<long>(wire.size()) - 1));
+          wire[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+        break;
+    }
+
+    const ParseResult res = parse_checked(wire);
+    if (res.frame.has_value()) {
+      EXPECT_EQ(res.error, ParseError::kOk) << parse_error_name(res.error);
+      EXPECT_EQ(serialize(*res.frame), wire) << "accepted frame must round-trip";
+    } else {
+      EXPECT_NE(res.error, ParseError::kOk);
+    }
+  }
 }
 
 TEST(App, ReadingRoundTripWithinResolution) {
@@ -149,13 +225,77 @@ TEST(Mac, SlotReassignment) {
   EXPECT_NEAR(resp->tx_offset_s, t.guard_s + t.slot_duration_s(), 1e-9);
 }
 
-TEST(Mac, SequenceNumbersIncrement) {
+TEST(Mac, SequenceAdvancesOnlyOnAck) {
+  // Stop-and-wait: an un-ACKed report is retransmitted with the same seq
+  // (the reader dedupes on it); the ACK advances the window.
   NodeMac node(1, MacTiming{});
   ReaderMac reader{MacTiming{}};
   const auto r1 = node.on_downlink(reader.make_query(1), SensorReading{});
   const auto r2 = node.on_downlink(reader.make_query(1), SensorReading{});
   ASSERT_TRUE(r1 && r2);
-  EXPECT_EQ((r1->frame.seq + 1) & 0xFF, r2->frame.seq);
+  EXPECT_EQ(r1->frame.seq, r2->frame.seq);
+  EXPECT_TRUE(node.awaiting_ack());
+  node.on_downlink(reader.make_ack(1, r2->frame.seq), SensorReading{});
+  EXPECT_FALSE(node.awaiting_ack());
+  const auto r3 = node.on_downlink(reader.make_query(1), SensorReading{});
+  ASSERT_TRUE(r3);
+  EXPECT_EQ((r2->frame.seq + 1) & 0xFF, r3->frame.seq);
+}
+
+TEST(Mac, AckForWrongSeqOrAddressIgnored) {
+  NodeMac node(1, MacTiming{});
+  ReaderMac reader{MacTiming{}};
+  const auto r1 = node.on_downlink(reader.make_query(1), SensorReading{});
+  ASSERT_TRUE(r1);
+  node.on_downlink(reader.make_ack(2, r1->frame.seq), SensorReading{});  // other node
+  EXPECT_TRUE(node.awaiting_ack());
+  node.on_downlink(reader.make_ack(1, static_cast<std::uint8_t>(r1->frame.seq + 1)),
+                   SensorReading{});  // stale seq
+  EXPECT_TRUE(node.awaiting_ack());
+}
+
+TEST(Mac, ReaderDedupesRetransmissionsOnSeq) {
+  ReaderMac reader{MacTiming{}};
+  Frame report;
+  report.addr = 9;
+  report.type = FrameType::kSensorReport;
+  report.seq = 17;
+  EXPECT_EQ(reader.on_report(report), ReaderMac::UplinkEvent::kDelivered);
+  EXPECT_EQ(reader.on_report(report), ReaderMac::UplinkEvent::kDuplicate);
+  EXPECT_EQ(reader.stats().at(9).delivered, 1u);
+  EXPECT_EQ(reader.stats().at(9).duplicates, 1u);
+  report.seq = 18;
+  EXPECT_EQ(reader.on_report(report), ReaderMac::UplinkEvent::kDelivered);
+  EXPECT_EQ(reader.stats().at(9).delivered, 2u);
+}
+
+TEST(Mac, BackoffIsExponentialWithCeiling) {
+  ArqConfig arq;
+  arq.backoff_base_slots = 1;
+  arq.backoff_ceiling_slots = 8;
+  arq.demote_after_misses = 100;
+  ReaderMac reader{MacTiming{}, arq};
+  EXPECT_EQ(reader.backoff_slots(4), 0u);
+  std::vector<std::size_t> seen;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(reader.on_miss(4), ReaderMac::MissAction::kRetry);
+    seen.push_back(reader.backoff_slots(4));
+  }
+  EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 4, 8, 8, 8}));
+}
+
+TEST(Mac, DemotionAfterConsecutiveMisses) {
+  ArqConfig arq;
+  arq.demote_after_misses = 2;
+  ReaderMac reader{MacTiming{}, arq};
+  EXPECT_EQ(reader.on_miss(5), ReaderMac::MissAction::kRetry);
+  EXPECT_EQ(reader.on_miss(5), ReaderMac::MissAction::kRetry);
+  EXPECT_EQ(reader.on_miss(5), ReaderMac::MissAction::kDemote);
+  reader.demote(5);
+  EXPECT_EQ(reader.stats().at(5).demotions, 1u);
+  // Demotion wipes ARQ state: the node restarts clean after re-discovery.
+  EXPECT_EQ(reader.backoff_slots(5), 0u);
+  EXPECT_EQ(reader.on_miss(5), ReaderMac::MissAction::kRetry);
 }
 
 TEST(Mac, ReaderStatsTrackDelivery) {
