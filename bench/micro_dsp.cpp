@@ -4,10 +4,14 @@
 
 #include "channel/noise.hpp"
 #include "common/rng.hpp"
+#include "dsp/correlate.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/mixer.hpp"
+#include "dsp/workspace.hpp"
 #include "phy/modem.hpp"
+#include "sim/scenario.hpp"
+#include "sim/waveform_sim.hpp"
 
 namespace {
 
@@ -62,6 +66,86 @@ void BM_NoiseSynthesis(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
 }
 BENCHMARK(BM_NoiseSynthesis);
+
+// Sync-length correlation: the demodulator slides a ~360-sample preamble
+// reference over a ~16k-sample baseband capture. Naive vs FFT overlap-save.
+cvec corr_signal(std::size_t n, unsigned seed) {
+  common::Rng rng(seed);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_gaussian();
+  return x;
+}
+
+void BM_SlidingCorrelateNaive(benchmark::State& state) {
+  const cvec sig = corr_signal(static_cast<std::size_t>(state.range(0)), 5);
+  const cvec ref = corr_signal(static_cast<std::size_t>(state.range(1)), 6);
+  for (auto _ : state) {
+    cvec y = dsp::sliding_correlate_naive(sig, ref);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SlidingCorrelateNaive)->Args({16384, 360});
+
+void BM_SlidingCorrelateFft(benchmark::State& state) {
+  const cvec sig = corr_signal(static_cast<std::size_t>(state.range(0)), 5);
+  const cvec ref = corr_signal(static_cast<std::size_t>(state.range(1)), 6);
+  cvec y;
+  for (auto _ : state) {
+    dsp::sliding_correlate(sig, ref, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SlidingCorrelateFft)->Args({16384, 360});
+
+void BM_NormalizedCorrelate(benchmark::State& state) {
+  const cvec sig = corr_signal(16384, 7);
+  const cvec ref = corr_signal(360, 8);
+  rvec y;
+  for (auto _ : state) {
+    dsp::normalized_correlate(sig, ref, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16384);
+}
+BENCHMARK(BM_NormalizedCorrelate);
+
+void BM_FirDecimate(benchmark::State& state) {
+  common::Rng rng(9);
+  const rvec taps = dsp::design_lowpass(2500.0, 192000.0, 255,
+                                        dsp::WindowType::kKaiser, 12.0);
+  cvec x(131072);
+  for (auto& v : x) v = rng.complex_gaussian();
+  cvec y;
+  for (auto _ : state) {
+    dsp::fir_filter_decimate(taps, x, 24, 447, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_FirDecimate);
+
+// End-to-end waveform trial (single thread): the unit of work every
+// EXPERIMENTS sweep repeats thousands of times.
+void BM_WaveformTrial(benchmark::State& state) {
+  sim::Scenario sc;
+  sc.range_m = 100.0;
+  common::Rng rng(11);
+  const bitvec payload = rng.random_bits(64);
+  for (auto _ : state) {
+    common::Rng trial_rng(12);
+    sim::WaveformSimulator ws(sc, trial_rng);
+    auto res = ws.run_trial(payload);
+    benchmark::DoNotOptimize(&res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_WaveformTrial);
 
 void BM_FullDemodulate(benchmark::State& state) {
   phy::PhyConfig cfg;

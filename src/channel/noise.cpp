@@ -4,8 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <vector>
+
 #include "common/units.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/workspace.hpp"
+#include "obs/metrics.hpp"
 
 namespace vab::channel {
 
@@ -13,6 +17,54 @@ namespace {
 // Power-sum of dB quantities.
 double db_sum(double a_db, double b_db) {
   return 10.0 * std::log10(std::pow(10.0, a_db / 10.0) + std::pow(10.0, b_db / 10.0));
+}
+
+// Per-bin spectral amplitudes for synthesize_ambient_noise. The Wenz NSD
+// evaluation costs ~10 transcendentals per bin and depends only on
+// (nfft, fs, conditions) — not on the Rng — so a thread-local cache turns
+// steady-state synthesis (same scenario, trial after trial) into pure
+// Gaussian draws plus one planned inverse FFT. Entries hold exactly the
+// sigmas the uncached loop computed, keeping output bit-identical.
+struct SigmaTable {
+  std::size_t nfft = 0;
+  double fs_hz = 0.0;
+  NoiseConditions cond{};
+  rvec sigma;  // index k in [1, nfft/2), entry 0 unused
+
+  bool matches(std::size_t n, double fs, const NoiseConditions& c) const {
+    return nfft == n && fs_hz == fs && cond.shipping == c.shipping &&
+           cond.wind_speed_mps == c.wind_speed_mps &&
+           cond.site_floor_db == c.site_floor_db;
+  }
+};
+
+const rvec& sigma_table(std::size_t nfft, double fs_hz, const NoiseConditions& cond) {
+  static const obs::Counter hits = obs::counter("channel.noise.sigma_hits");
+  static const obs::Counter misses = obs::counter("channel.noise.sigma_misses");
+  thread_local std::vector<SigmaTable> cache;
+  for (auto& t : cache) {
+    if (t.matches(nfft, fs_hz, cond)) {
+      hits.inc();
+      return t.sigma;
+    }
+  }
+  misses.inc();
+  if (cache.size() >= 8) cache.clear();  // bound memory; rebuilds amortize
+  SigmaTable t;
+  t.nfft = nfft;
+  t.fs_hz = fs_hz;
+  t.cond = cond;
+  t.sigma.assign(nfft / 2, 0.0);
+  const double df = fs_hz / static_cast<double>(nfft);
+  for (std::size_t k = 1; k < nfft / 2; ++k) {
+    const double f = static_cast<double>(k) * df;
+    // NSD in dB re 1 uPa^2/Hz -> Pa^2/Hz.
+    const double psd_pa2 = std::pow(10.0, ambient_nsd_db(f, cond) / 10.0) *
+                           common::kRefPressurePa * common::kRefPressurePa;
+    t.sigma[k] = std::sqrt(psd_pa2 * df / 2.0);
+  }
+  cache.push_back(std::move(t));
+  return cache.back().sigma;
 }
 }  // namespace
 
@@ -54,23 +106,29 @@ double noise_level_db(double f_hz, double bw_hz, const NoiseConditions& cond) {
 
 rvec synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
                               common::Rng& rng) {
-  if (n == 0) return {};
+  rvec out;
+  synthesize_ambient_noise(n, fs_hz, cond, rng, out);
+  return out;
+}
+
+void synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
+                              common::Rng& rng, rvec& out) {
+  if (n == 0) {
+    out.clear();
+    return;
+  }
   if (fs_hz <= 0.0) throw std::invalid_argument("sample rate must be > 0");
 
   const std::size_t nfft = dsp::next_pow2(std::max<std::size_t>(n, 2));
-  cvec spec(nfft, cplx{});
-  const double df = fs_hz / static_cast<double>(nfft);
+  auto spec_l = dsp::Workspace::local().take_c(nfft);
+  cvec& spec = *spec_l;
 
-  // Hermitian spectrum with per-bin amplitude from the Wenz NSD.
+  // Hermitian spectrum with per-bin amplitude from the Wenz NSD (cached).
   // PSD [Pa^2/Hz] -> per-bin variance = PSD * df; split across +/- bins.
+  const rvec& sigma = sigma_table(nfft, fs_hz, cond);
   for (std::size_t k = 1; k < nfft / 2; ++k) {
-    const double f = static_cast<double>(k) * df;
-    // NSD in dB re 1 uPa^2/Hz -> Pa^2/Hz.
-    const double psd_pa2 = std::pow(10.0, ambient_nsd_db(f, cond) / 10.0) *
-                           common::kRefPressurePa * common::kRefPressurePa;
-    const double sigma = std::sqrt(psd_pa2 * df / 2.0);
     const cplx g = rng.complex_gaussian(1.0);
-    spec[k] = sigma * g;
+    spec[k] = sigma[k] * g;
     spec[nfft - k] = std::conj(spec[k]);
   }
   // DC and Nyquist real-valued; negligible energy, keep zero.
@@ -78,11 +136,10 @@ rvec synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions
   // The inverse FFT of this Hermitian spectrum, scaled by nfft/ sqrt?? —
   // with ifft normalization 1/N, variance per sample is sum_k |S_k|^2 / N^2;
   // compensate to land at sum_k PSD*df = total band power.
-  cvec time = dsp::ifft(spec);
-  rvec out(n);
+  dsp::fft_plan(nfft).inverse(spec.data());
+  out.resize(n);
   const double scale = static_cast<double>(nfft);
-  for (std::size_t i = 0; i < n; ++i) out[i] = time[i].real() * scale;
-  return out;
+  for (std::size_t i = 0; i < n; ++i) out[i] = spec[i].real() * scale;
 }
 
 }  // namespace vab::channel

@@ -41,4 +41,10 @@ double noise_level_db(double f_hz, double bw_hz, const NoiseConditions& cond);
 rvec synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
                               common::Rng& rng);
 
+/// Out-parameter form: same samples for the same Rng state, but the spectrum
+/// scratch comes from the thread-local dsp::Workspace and the inverse FFT
+/// runs in place, so steady-state synthesis does not allocate.
+void synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
+                              common::Rng& rng, rvec& out);
+
 }  // namespace vab::channel

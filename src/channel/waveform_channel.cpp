@@ -5,6 +5,7 @@
 
 #include "common/units.hpp"
 #include "dsp/resample.hpp"
+#include "dsp/workspace.hpp"
 #include "obs/obs.hpp"
 
 namespace vab::channel {
@@ -26,7 +27,7 @@ double WaveformChannel::max_delay_s() const {
   return d;
 }
 
-rvec WaveformChannel::apply_taps(const rvec& tx) const {
+void WaveformChannel::apply_taps(const rvec& tx, rvec& out) const {
   VAB_STAGE("channel.apply_taps");
   const double fs = cfg_.fs_hz;
   const double wave_amp = cfg_.surface_wave_amplitude_m;
@@ -35,7 +36,7 @@ rvec WaveformChannel::apply_taps(const rvec& tx) const {
       wave_amp > 0.0 ? 2.0 * wave_amp * 6.0 / cfg_.sound_speed_mps : 0.0;
   const auto extra =
       static_cast<std::size_t>(std::ceil((max_delay_s() + max_breathe) * fs)) + 2;
-  rvec out(tx.size() + extra, 0.0);
+  out.assign(tx.size() + extra, 0.0);
   for (std::size_t p = 0; p < cfg_.taps.size(); ++p) {
     const auto& tap = cfg_.taps[p];
     const double g = tap.gain * fade_[p];
@@ -64,29 +65,40 @@ rvec WaveformChannel::apply_taps(const rvec& tx) const {
       }
     }
   }
-  return out;
 }
 
 rvec WaveformChannel::propagate_clean(const rvec& tx) const {
-  rvec y = apply_taps(tx);
-  if (cfg_.doppler_speed_mps != 0.0) {
-    // Uniform motion compresses/dilates the time axis by (1 +/- v/c).
-    const double factor = 1.0 + cfg_.doppler_speed_mps / cfg_.sound_speed_mps;
-    y = dsp::resample_linear(y, cfg_.fs_hz * factor, cfg_.fs_hz);
-  }
+  rvec y;
+  propagate_clean(tx, y);
   return y;
 }
 
+void WaveformChannel::propagate_clean(const rvec& tx, rvec& out) const {
+  apply_taps(tx, out);
+  if (cfg_.doppler_speed_mps != 0.0) {
+    // Uniform motion compresses/dilates the time axis by (1 +/- v/c).
+    const double factor = 1.0 + cfg_.doppler_speed_mps / cfg_.sound_speed_mps;
+    out = dsp::resample_linear(out, cfg_.fs_hz * factor, cfg_.fs_hz);
+  }
+}
+
 rvec WaveformChannel::propagate(const rvec& tx) const {
-  rvec y = propagate_clean(tx);
+  rvec y;
+  propagate(tx, y);
+  return y;
+}
+
+void WaveformChannel::propagate(const rvec& tx, rvec& out) const {
+  propagate_clean(tx, out);
   // Injected impairment before the additive noise floor: a shadowing dip
   // attenuates the signal, not the ambient field.
-  if (cfg_.fault && cfg_.fault->enabled()) cfg_.fault->apply_snr_dip(y);
+  if (cfg_.fault && cfg_.fault->enabled()) cfg_.fault->apply_snr_dip(out);
   if (cfg_.add_noise) {
-    const rvec noise = synthesize_ambient_noise(y.size(), cfg_.fs_hz, cfg_.noise, *rng_);
-    for (std::size_t i = 0; i < y.size(); ++i) y[i] += noise[i];
+    auto noise_l = dsp::Workspace::local().take_r(0);
+    rvec& noise = *noise_l;
+    synthesize_ambient_noise(out.size(), cfg_.fs_hz, cfg_.noise, *rng_, noise);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += noise[i];
   }
-  return y;
 }
 
 std::vector<PathTap> single_tap(double gain, double delay_s) {

@@ -45,14 +45,21 @@ class WaveformChannel {
   /// extended by the maximum path delay.
   rvec propagate(const rvec& tx) const;
 
+  /// Out-parameter form used on the trial hot path; noise scratch comes from
+  /// the thread-local dsp::Workspace.
+  void propagate(const rvec& tx, rvec& out) const;
+
   /// Propagates without noise (used by calibration tests).
   rvec propagate_clean(const rvec& tx) const;
+
+  /// Out-parameter form of `propagate_clean`.
+  void propagate_clean(const rvec& tx, rvec& out) const;
 
   const std::vector<PathTap>& taps() const { return cfg_.taps; }
   double max_delay_s() const;
 
  private:
-  rvec apply_taps(const rvec& tx) const;
+  void apply_taps(const rvec& tx, rvec& out) const;
 
   WaveformChannelConfig cfg_;
   common::Rng* rng_;

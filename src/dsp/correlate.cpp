@@ -1,47 +1,142 @@
 #include "dsp/correlate.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/workspace.hpp"
+#include "obs/metrics.hpp"
 
 namespace vab::dsp {
 
-cvec sliding_correlate(const cvec& sig, const cvec& ref) {
-  if (sig.size() < ref.size() || ref.empty()) return {};
+namespace {
+
+// Below this work product the direct loop beats the transform bookkeeping.
+constexpr std::size_t kNaiveWorkCutoff = 1 << 14;
+constexpr std::size_t kNaiveRefCutoff = 8;
+
+bool use_naive(std::size_t n_out, std::size_t ref_len) {
+  return ref_len <= kNaiveRefCutoff || n_out * ref_len <= kNaiveWorkCutoff;
+}
+
+void sliding_correlate_naive_into(const cvec& sig, const cvec& ref, cvec& out) {
   const std::size_t n_out = sig.size() - ref.size() + 1;
-  cvec out(n_out);
+  out.resize(n_out);
   for (std::size_t k = 0; k < n_out; ++k) {
     cplx acc{};
     for (std::size_t n = 0; n < ref.size(); ++n) acc += sig[k + n] * std::conj(ref[n]);
     out[k] = acc;
   }
+}
+
+// Overlap-save cross-correlation. With h[m] = conj(ref[M-1-m]) the full
+// convolution c = sig * h satisfies out[k] = c[k + M - 1], so each circular
+// nfft-block over sig[k0 .. k0+nfft) yields the L = nfft - M + 1 valid
+// outputs out[k0 .. k0+L) at circular indices M-1 .. nfft-1.
+void sliding_correlate_fft_into(const cvec& sig, const cvec& ref, cvec& out) {
+  static const obs::Counter blocks_ctr = obs::counter("dsp.correlate.fft_blocks");
+  const std::size_t m = ref.size();
+  const std::size_t n_out = sig.size() - m + 1;
+  out.resize(n_out);
+
+  std::size_t nfft = next_pow2(4 * m);
+  nfft = std::min(nfft, next_pow2(sig.size()));
+  nfft = std::max(nfft, next_pow2(m));
+  const std::size_t block_len = nfft - m + 1;
+
+  auto href_l = Workspace::local().take_c(nfft);
+  auto blk_l = Workspace::local().take_c(nfft);
+  cvec& href = *href_l;
+  cvec& blk = *blk_l;
+
+  const FftPlan& plan = fft_plan(nfft);
+  for (std::size_t i = 0; i < m; ++i) href[i] = std::conj(ref[m - 1 - i]);
+  plan.forward(href.data());
+
+  std::uint64_t blocks = 0;
+  for (std::size_t k0 = 0; k0 < n_out; k0 += block_len, ++blocks) {
+    const std::size_t avail = std::min(nfft, sig.size() - k0);
+    std::copy(sig.begin() + static_cast<std::ptrdiff_t>(k0),
+              sig.begin() + static_cast<std::ptrdiff_t>(k0 + avail), blk.begin());
+    std::fill(blk.begin() + static_cast<std::ptrdiff_t>(avail), blk.end(), cplx{});
+    plan.forward(blk.data());
+    for (std::size_t i = 0; i < nfft; ++i) blk[i] *= href[i];
+    plan.inverse(blk.data());
+    const std::size_t n_take = std::min(block_len, n_out - k0);
+    for (std::size_t j = 0; j < n_take; ++j) out[k0 + j] = blk[m - 1 + j];
+  }
+  blocks_ctr.add(blocks);
+}
+
+}  // namespace
+
+void sliding_correlate(const cvec& sig, const cvec& ref, cvec& out) {
+  if (sig.size() < ref.size() || ref.empty()) {
+    out.clear();
+    return;
+  }
+  const std::size_t n_out = sig.size() - ref.size() + 1;
+  if (use_naive(n_out, ref.size())) {
+    sliding_correlate_naive_into(sig, ref, out);
+  } else {
+    sliding_correlate_fft_into(sig, ref, out);
+  }
+}
+
+cvec sliding_correlate(const cvec& sig, const cvec& ref) {
+  cvec out;
+  sliding_correlate(sig, ref, out);
   return out;
 }
 
-rvec normalized_correlate(const cvec& sig, const cvec& ref) {
+cvec sliding_correlate_naive(const cvec& sig, const cvec& ref) {
   if (sig.size() < ref.size() || ref.empty()) return {};
+  cvec out;
+  sliding_correlate_naive_into(sig, ref, out);
+  return out;
+}
+
+void normalized_correlate(const cvec& sig, const cvec& ref, rvec& out) {
+  if (sig.size() < ref.size() || ref.empty()) {
+    out.clear();
+    return;
+  }
   const std::size_t n_out = sig.size() - ref.size() + 1;
   const double ref_norm = std::sqrt(energy(ref));
-  if (ref_norm == 0.0) return rvec(n_out, 0.0);
+  if (ref_norm == 0.0) {
+    out.assign(n_out, 0.0);
+    return;
+  }
+
+  auto dot_l = Workspace::local().take_c(0);
+  cvec& dot = *dot_l;
+  sliding_correlate(sig, ref, dot);
 
   // Running window energy for O(N) normalization.
-  rvec out(n_out);
+  out.resize(n_out);
   double win_energy = 0.0;
   for (std::size_t n = 0; n < ref.size(); ++n) win_energy += std::norm(sig[n]);
   for (std::size_t k = 0; k < n_out; ++k) {
-    cplx acc{};
-    for (std::size_t n = 0; n < ref.size(); ++n) acc += sig[k + n] * std::conj(ref[n]);
     const double denom = std::sqrt(std::max(win_energy, 1e-30)) * ref_norm;
-    out[k] = std::abs(acc) / denom;
+    out[k] = std::abs(dot[k]) / denom;
     if (k + 1 < n_out) {
       win_energy += std::norm(sig[k + ref.size()]) - std::norm(sig[k]);
       win_energy = std::max(win_energy, 0.0);
     }
   }
+}
+
+rvec normalized_correlate(const cvec& sig, const cvec& ref) {
+  rvec out;
+  normalized_correlate(sig, ref, out);
   return out;
 }
 
 std::optional<CorrelationPeak> find_peak(const cvec& sig, const cvec& ref,
                                          double threshold) {
-  const rvec corr = normalized_correlate(sig, ref);
+  auto corr_l = Workspace::local().take_r(0);
+  rvec& corr = *corr_l;
+  normalized_correlate(sig, ref, corr);
   if (corr.empty()) return std::nullopt;
   std::size_t best = 0;
   for (std::size_t k = 1; k < corr.size(); ++k)

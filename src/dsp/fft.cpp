@@ -1,9 +1,13 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "common/units.hpp"
+#include "dsp/workspace.hpp"
+#include "obs/metrics.hpp"
 
 namespace vab::dsp {
 
@@ -15,43 +19,84 @@ std::size_t next_pow2(std::size_t n) {
 
 bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
-namespace {
-
-void transform(cvec& x, bool inverse) {
-  const std::size_t n = x.size();
+FftPlan::FftPlan(std::size_t n) : n_(n) {
   if (!is_pow2(n)) throw std::invalid_argument("fft size must be a power of two");
-  // Bit-reversal permutation.
+  // Bit-reversal permutation, same incremental construction the unplanned
+  // transform ran per call.
+  bitrev_.assign(n, 0);
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
+    bitrev_[i] = static_cast<std::uint32_t>(j);
+  }
+  // Twiddle tables. Each stage's entries are generated with the exact
+  // repeated-multiplication recurrence (w *= wlen) the unplanned butterflies
+  // used, so planned transforms are bit-identical to the historical output.
+  // Forward and inverse tables are kept separately for the same reason:
+  // deriving one from the other by conjugation is not guaranteed bitwise
+  // equal to recomputing the recurrence.
+  tw_fwd_.reserve(n > 1 ? n - 1 : 0);
+  tw_inv_.reserve(n > 1 ? n - 1 : 0);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    for (int inv = 0; inv < 2; ++inv) {
+      const double ang =
+          (inv ? 1.0 : -1.0) * common::kTwoPi / static_cast<double>(len);
+      const cplx wlen(std::cos(ang), std::sin(ang));
+      cplx w(1.0, 0.0);
+      cvec& table = inv ? tw_inv_ : tw_fwd_;
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        table.push_back(w);
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void FftPlan::transform(cplx* x, const cplx* twiddle, bool inverse) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
     if (i < j) std::swap(x[i], x[j]);
   }
-  // Danielson–Lanczos butterflies.
+  // Danielson–Lanczos butterflies; stage `len` reads its precomputed table.
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 1.0 : -1.0) * common::kTwoPi / static_cast<double>(len);
-    const cplx wlen(std::cos(ang), std::sin(ang));
+    const cplx* tw = twiddle + (len / 2 - 1);
+    const std::size_t half = len / 2;
     for (std::size_t i = 0; i < n; i += len) {
-      cplx w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
+      for (std::size_t k = 0; k < half; ++k) {
         const cplx u = x[i + k];
-        const cplx v = x[i + k + len / 2] * w;
+        const cplx v = x[i + k + half] * tw[k];
         x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
+        x[i + k + half] = u - v;
       }
     }
   }
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
-    for (auto& c : x) c *= inv_n;
+    for (std::size_t i = 0; i < n; ++i) x[i] *= inv_n;
   }
 }
 
-}  // namespace
+void FftPlan::forward(cplx* x) const { transform(x, tw_fwd_.data(), false); }
+void FftPlan::inverse(cplx* x) const { transform(x, tw_inv_.data(), true); }
 
-void fft_inplace(cvec& x) { transform(x, false); }
-void ifft_inplace(cvec& x) { transform(x, true); }
+const FftPlan& fft_plan(std::size_t n) {
+  static const obs::Counter hits = obs::counter("dsp.fft.plan_hits");
+  static const obs::Counter misses = obs::counter("dsp.fft.plan_misses");
+  thread_local std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    misses.inc();
+    it = cache.emplace(n, std::make_unique<FftPlan>(n)).first;
+  } else {
+    hits.inc();
+  }
+  return *it->second;
+}
+
+void fft_inplace(cvec& x) { fft_plan(x.size()).forward(x.data()); }
+void ifft_inplace(cvec& x) { fft_plan(x.size()).inverse(x.data()); }
 
 cvec fft(const cvec& x) {
   cvec y = x;
@@ -66,24 +111,71 @@ cvec ifft(const cvec& x) {
   return y;
 }
 
+void fft_real(const rvec& x, cvec& out) {
+  const std::size_t n = next_pow2(std::max<std::size_t>(1, x.size()));
+  if (n == 1) {
+    out.assign(1, cplx{x.empty() ? 0.0 : x[0], 0.0});
+    return;
+  }
+  if (n == 2) {
+    const double a = x.empty() ? 0.0 : x[0];
+    const double b = x.size() > 1 ? x[1] : 0.0;
+    out.assign(2, cplx{});
+    out[0] = cplx{a + b, 0.0};
+    out[1] = cplx{a - b, 0.0};
+    return;
+  }
+  // Pack even/odd samples into a half-size complex signal z[m] =
+  // x[2m] + j x[2m+1], transform, then split the spectrum:
+  //   X[k] = E[k] + e^{-j 2 pi k / n} O[k],  k = 0..h-1,
+  // with E/O recovered from Z and its reflected conjugate. The upper half
+  // follows from Hermitian symmetry of a real signal's spectrum.
+  const std::size_t h = n / 2;
+  auto z = Workspace::local().take_c(h);
+  cvec& zb = *z;
+  for (std::size_t m = 0; m < h; ++m) {
+    const double re = 2 * m < x.size() ? x[2 * m] : 0.0;
+    const double im = 2 * m + 1 < x.size() ? x[2 * m + 1] : 0.0;
+    zb[m] = cplx{re, im};
+  }
+  fft_plan(h).forward(zb.data());
+
+  out.assign(n, cplx{});
+  const double step = -common::kTwoPi / static_cast<double>(n);
+  for (std::size_t k = 0; k < h; ++k) {
+    const std::size_t kr = (h - k) & (h - 1);  // reflected index mod h
+    const cplx zr = std::conj(zb[kr]);
+    const cplx even = 0.5 * (zb[k] + zr);
+    const cplx odd = cplx{0.0, -0.5} * (zb[k] - zr);
+    const double ang = step * static_cast<double>(k);
+    out[k] = even + cplx{std::cos(ang), std::sin(ang)} * odd;
+  }
+  // Nyquist bin: the split formula at k=h with twiddle -1.
+  out[h] = cplx{zb[0].real() - zb[0].imag(), 0.0};
+  for (std::size_t k = 1; k < h; ++k) out[n - k] = std::conj(out[k]);
+}
+
 cvec fft_real(const rvec& x) {
-  cvec y(next_pow2(std::max<std::size_t>(1, x.size())), cplx{0.0, 0.0});
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = cplx{x[i], 0.0};
-  fft_inplace(y);
-  return y;
+  cvec out;
+  fft_real(x, out);
+  return out;
 }
 
 rvec fft_convolve(const rvec& a, const rvec& b) {
   if (a.empty() || b.empty()) return {};
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(out_len);
-  cvec fa(n, cplx{}), fb(n, cplx{});
+  auto fa_l = Workspace::local().take_c(n);
+  auto fb_l = Workspace::local().take_c(n);
+  cvec& fa = *fa_l;
+  cvec& fb = *fb_l;
   for (std::size_t i = 0; i < a.size(); ++i) fa[i] = cplx{a[i], 0.0};
   for (std::size_t i = 0; i < b.size(); ++i) fb[i] = cplx{b[i], 0.0};
-  fft_inplace(fa);
-  fft_inplace(fb);
+  const FftPlan& plan = fft_plan(n);
+  plan.forward(fa.data());
+  plan.forward(fb.data());
   for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  ifft_inplace(fa);
+  plan.inverse(fa.data());
   rvec out(out_len);
   for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
   return out;
@@ -93,14 +185,18 @@ cvec fft_xcorr(const cvec& a, const cvec& b) {
   if (a.empty() || b.empty()) return {};
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t n = next_pow2(out_len);
-  cvec fa(n, cplx{}), fb(n, cplx{});
+  auto fa_l = Workspace::local().take_c(n);
+  auto fb_l = Workspace::local().take_c(n);
+  cvec& fa = *fa_l;
+  cvec& fb = *fb_l;
   for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
   // Correlation = convolution with conjugated, time-reversed b.
   for (std::size_t i = 0; i < b.size(); ++i) fb[i] = std::conj(b[b.size() - 1 - i]);
-  fft_inplace(fa);
-  fft_inplace(fb);
+  const FftPlan& plan = fft_plan(n);
+  plan.forward(fa.data());
+  plan.forward(fb.data());
   for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  ifft_inplace(fa);
+  plan.inverse(fa.data());
   return cvec(fa.begin(), fa.begin() + static_cast<std::ptrdiff_t>(out_len));
 }
 

@@ -88,20 +88,51 @@ cplx FirFilter::process(cplx x) {
 }
 
 rvec FirFilter::process(const rvec& x) {
-  rvec y(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+  rvec y;
+  process(x, y);
   return y;
 }
 
 cvec FirFilter::process(const cvec& x) {
-  cvec y(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+  cvec y;
+  process(x, y);
   return y;
+}
+
+void FirFilter::process(const rvec& x, rvec& y) {
+  y.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
+}
+
+void FirFilter::process(const cvec& x, cvec& y) {
+  y.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = process(x[i]);
 }
 
 void FirFilter::reset() {
   state_.assign(taps_.size(), cplx{});
   pos_ = 0;
+}
+
+void fir_filter_decimate(const rvec& taps, const cvec& x, std::size_t m,
+                         std::size_t offset, cvec& out) {
+  if (taps.empty()) throw std::invalid_argument("FIR needs at least one tap");
+  if (m == 0) throw std::invalid_argument("decimation factor must be >= 1");
+  if (offset >= x.size()) {
+    out.clear();
+    return;
+  }
+  const std::size_t n_out = (x.size() - offset - 1) / m + 1;
+  out.resize(n_out);
+  for (std::size_t j = 0; j < n_out; ++j) {
+    const std::size_t i = offset + j * m;
+    // Same accumulation order as the streaming path: taps ascending, signal
+    // walking backwards, with the implicit zero history before x[0].
+    const std::size_t k_end = std::min(taps.size(), i + 1);
+    cplx acc{};
+    for (std::size_t k = 0; k < k_end; ++k) acc += taps[k] * x[i - k];
+    out[j] = acc;
+  }
 }
 
 double fir_response_at(const rvec& taps, double f_hz, double fs_hz) {

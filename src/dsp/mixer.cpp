@@ -24,17 +24,29 @@ void Nco::set_frequency(double freq_hz) { step_ = common::kTwoPi * freq_hz / fs_
 
 rvec make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude,
                double phase_rad) {
-  Nco nco(freq_hz, fs_hz, phase_rad);
-  rvec out(n);
-  for (auto& x : out) x = amplitude * nco.next_cos();
+  rvec out;
+  make_tone(freq_hz, fs_hz, n, amplitude, phase_rad, out);
   return out;
 }
 
+void make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude,
+               double phase_rad, rvec& out) {
+  Nco nco(freq_hz, fs_hz, phase_rad);
+  out.resize(n);
+  for (auto& x : out) x = amplitude * nco.next_cos();
+}
+
 cvec downconvert(const rvec& x, double freq_hz, double fs_hz, double phase_rad) {
-  Nco nco(-freq_hz, fs_hz, -phase_rad);
-  cvec out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * nco.next();
+  cvec out;
+  downconvert(x, freq_hz, fs_hz, phase_rad, out);
   return out;
+}
+
+void downconvert(const rvec& x, double freq_hz, double fs_hz, double phase_rad,
+                 cvec& out) {
+  Nco nco(-freq_hz, fs_hz, -phase_rad);
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * nco.next();
 }
 
 rvec upconvert(const cvec& x, double freq_hz, double fs_hz, double phase_rad) {

@@ -31,9 +31,17 @@ class Nco {
 rvec make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude = 1.0,
                double phase_rad = 0.0);
 
+/// Out-parameter form of `make_tone`; allocation-free when `out` has capacity.
+void make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude,
+               double phase_rad, rvec& out);
+
 /// Complex baseband conversion: y[n] = x[n] * e^{-j 2 pi f n / fs}.
 /// (Follow with a low-pass to complete the downconversion.)
 cvec downconvert(const rvec& x, double freq_hz, double fs_hz, double phase_rad = 0.0);
+
+/// Out-parameter form of `downconvert`.
+void downconvert(const rvec& x, double freq_hz, double fs_hz, double phase_rad,
+                 cvec& out);
 
 /// Upconversion of complex baseband to a real passband signal:
 /// y[n] = Re{ x[n] * e^{+j 2 pi f n / fs} }.

@@ -10,6 +10,7 @@
 #include "dsp/fir.hpp"
 #include "dsp/mixer.hpp"
 #include "dsp/resample.hpp"
+#include "dsp/workspace.hpp"
 #include "obs/obs.hpp"
 #include "phy/equalizer.hpp"
 #include "phy/fm0.hpp"
@@ -60,11 +61,19 @@ std::size_t BackscatterModulator::waveform_length(std::size_t n_payload_bits) co
 }
 
 bitvec BackscatterModulator::switch_waveform(const bitvec& payload_bits) const {
-  bitvec chips;
+  bitvec wave;
+  switch_waveform(payload_bits, wave);
+  return wave;
+}
+
+void BackscatterModulator::switch_waveform(const bitvec& payload_bits,
+                                           bitvec& wave) const {
+  auto chips_l = dsp::Workspace::local().take_b(0);
+  bitvec& chips = *chips_l;
   chips.insert(chips.end(), kIdleChips, 0);  // absorptive idle (harvesting)
   for (std::size_t i = 0; i < kSettleChips; ++i)
     chips.push_back(static_cast<std::uint8_t>(i & 1u));  // alternating pilot
-  const bitvec pre = fm0_preamble_chips();
+  const bitvec& pre = fm0_preamble_chips();
   chips.insert(chips.end(), pre.begin(), pre.end());
   const bitvec data_chips = encode_uplink(payload_bits, cfg_.uplink_code);
   chips.insert(chips.end(), data_chips.begin(), data_chips.end());
@@ -72,92 +81,108 @@ bitvec BackscatterModulator::switch_waveform(const bitvec& payload_bits) const {
 
   const double spc = cfg_.fs_hz / cfg_.chip_rate_hz();
   const auto n = static_cast<std::size_t>(std::ceil(static_cast<double>(chips.size()) * spc));
-  bitvec wave(n);
+  wave.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto c = static_cast<std::size_t>(static_cast<double>(i) / spc);
     wave[i] = chips[std::min(c, chips.size() - 1)];
   }
-  return wave;
 }
 
 bitvec BackscatterModulator::active_mask(std::size_t n_payload_bits) const {
+  bitvec mask;
+  active_mask(n_payload_bits, mask);
+  return mask;
+}
+
+void BackscatterModulator::active_mask(std::size_t n_payload_bits, bitvec& mask) const {
   const std::size_t pre = fm0_preamble_chips().size();
   const std::size_t active_chips =
       kSettleChips + pre + cfg_.chips_per_bit() * n_payload_bits;
   const std::size_t chips = 2 * kIdleChips + active_chips;
   const double spc = cfg_.fs_hz / cfg_.chip_rate_hz();
   const auto n = static_cast<std::size_t>(std::ceil(static_cast<double>(chips) * spc));
-  bitvec mask(n, 0);
+  mask.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const auto c = static_cast<std::size_t>(static_cast<double>(i) / spc);
     mask[i] = (c >= kIdleChips && c < kIdleChips + active_chips) ? 1 : 0;
   }
-  return mask;
 }
 
 ReaderDemodulator::ReaderDemodulator(PhyConfig cfg) : cfg_(cfg) {
   if (cfg_.fs_hz <= 0.0 || cfg_.bitrate_bps <= 0.0)
     throw std::invalid_argument("bad PHY config");
-}
-
-cvec ReaderDemodulator::to_baseband(const rvec& passband, double* suppression_db) const {
-  VAB_STAGE("demod.baseband");
-  // Downconvert, anti-alias, decimate.
-  cvec bb = dsp::downconvert(passband, cfg_.carrier_hz, cfg_.fs_hz);
   // The anti-alias filter needs a very deep stopband: the -2fc mixing image
   // of the carrier blast can sit ~90 dB above the backscatter sidebands and
   // would alias into baseband at the decimation step. Kaiser beta 12 buys
   // ~118 dB of stopband attenuation.
   const double cutoff = 2.5 * cfg_.chip_rate_hz();
-  dsp::FirFilter lp(dsp::design_lowpass(cutoff, cfg_.fs_hz, cfg_.lowpass_taps,
-                                        dsp::WindowType::kKaiser, 12.0));
-  bb = lp.process(bb);
+  lowpass_taps_ = dsp::design_lowpass(cutoff, cfg_.fs_hz, cfg_.lowpass_taps,
+                                      dsp::WindowType::kKaiser, 12.0);
+
+  // Baseband sync reference at the (possibly fractional) samples-per-chip
+  // rate. The reference spans the settle pilot plus the Barker preamble: the
+  // alternating pilot pins chip timing (a one-chip slip flips every pilot
+  // chip) while Barker's autocorrelation pins which chip is which.
+  const double spc = cfg_.samples_per_chip_bb();
+  pre_levels_.reserve(BackscatterModulator::kSettleChips + fm0_preamble_chips().size());
+  for (std::size_t i = 0; i < BackscatterModulator::kSettleChips; ++i)
+    pre_levels_.push_back((i & 1u) ? 1.0 : -1.0);
+  for (double v : fm0_preamble_levels()) pre_levels_.push_back(v);
+  const auto ref_len =
+      static_cast<std::size_t>(std::floor(static_cast<double>(pre_levels_.size()) * spc));
+  // Zero-mean the reference: the AC-coupled front end removes DC, and a
+  // DC-free reference cannot correlate with residual carrier transients.
+  double pre_mean = 0.0;
+  for (double v : pre_levels_) pre_mean += v;
+  pre_mean /= static_cast<double>(pre_levels_.size());
+  sync_ref_.resize(ref_len);
+  for (std::size_t i = 0; i < ref_len; ++i) {
+    const auto c = static_cast<std::size_t>(static_cast<double>(i) / spc);
+    sync_ref_[i] = cplx{pre_levels_[std::min(c, pre_levels_.size() - 1)] - pre_mean, 0.0};
+  }
+}
+
+cvec ReaderDemodulator::to_baseband(const rvec& passband, double* suppression_db) const {
+  cvec out;
+  to_baseband(passband, out, suppression_db);
+  return out;
+}
+
+void ReaderDemodulator::to_baseband(const rvec& passband, cvec& out,
+                                    double* suppression_db) const {
+  VAB_STAGE("demod.baseband");
+  // Downconvert, then anti-alias + decimate in one decimated FIR pass: only
+  // the kept baseband samples are computed, so the 255-tap filter costs
+  // 1/decimation() of full-rate filtering while producing bit-identical
+  // outputs.
+  auto bb_l = dsp::Workspace::local().take_c(0);
+  cvec& bb = *bb_l;
+  dsp::downconvert(passband, cfg_.carrier_hz, cfg_.fs_hz, 0.0, bb);
   const std::size_t m = cfg_.decimation();
   // Skip the filter warm-up: while the delay line fills, the output ramps
   // from zero to the blast level, and that ramp would ring the carrier
   // notch for thousands of samples.
   const std::size_t warmup = cfg_.lowpass_taps + 8 * m;
-  cvec dec;
-  dec.reserve(bb.size() / m + 1);
-  for (std::size_t i = std::min(warmup, bb.size()); i < bb.size(); i += m)
-    dec.push_back(bb[i]);
+  dsp::fir_filter_decimate(lowpass_taps_, bb, m, warmup, out);
 
   // Self-interference cancellation.
   VAB_STAGE("demod.sic");
   SelfInterferenceCanceller sic(cfg_.sic, cfg_.chip_rate_hz(), cfg_.fs_baseband_hz());
-  cvec out = sic.process(dec);
+  sic.process_inplace(out);
   if (suppression_db) *suppression_db = sic.last_suppression_db();
-  return out;
 }
 
 DemodResult ReaderDemodulator::demodulate(const rvec& passband,
                                           std::size_t expected_bits) const {
   DemodResult res;
-  cvec bb = to_baseband(passband, &res.sic_suppression_db);
+  auto bb_l = dsp::Workspace::local().take_c(0);
+  cvec& bb = *bb_l;
+  to_baseband(passband, bb, &res.sic_suppression_db);
 
-  // Build the baseband sync reference at the (possibly fractional)
-  // samples-per-chip rate. The reference spans the settle pilot plus the
-  // Barker preamble: the alternating pilot pins chip timing (a one-chip
-  // slip flips every pilot chip) while Barker's autocorrelation pins which
-  // chip is which.
+  // Sync against the cached zero-meaned reference (built at construction).
   const double spc = cfg_.samples_per_chip_bb();
-  rvec pre_levels;
-  pre_levels.reserve(BackscatterModulator::kSettleChips + fm0_preamble_chips().size());
-  for (std::size_t i = 0; i < BackscatterModulator::kSettleChips; ++i)
-    pre_levels.push_back((i & 1u) ? 1.0 : -1.0);
-  for (double v : fm0_preamble_levels()) pre_levels.push_back(v);
-  const auto ref_len =
-      static_cast<std::size_t>(std::floor(static_cast<double>(pre_levels.size()) * spc));
-  // Zero-mean the reference: the AC-coupled front end removes DC, and a
-  // DC-free reference cannot correlate with residual carrier transients.
-  double pre_mean = 0.0;
-  for (double v : pre_levels) pre_mean += v;
-  pre_mean /= static_cast<double>(pre_levels.size());
-  cvec ref(ref_len);
-  for (std::size_t i = 0; i < ref_len; ++i) {
-    const auto c = static_cast<std::size_t>(static_cast<double>(i) / spc);
-    ref[i] = cplx{pre_levels[std::min(c, pre_levels.size() - 1)] - pre_mean, 0.0};
-  }
+  const rvec& pre_levels = pre_levels_;
+  const cvec& ref = sync_ref_;
 
   const auto peak = [&] {
     VAB_STAGE("demod.sync");
@@ -173,7 +198,8 @@ DemodResult ReaderDemodulator::demodulate(const rvec& passband,
   const std::size_t n_known = pre_levels.size();
   const std::size_t n_data = cfg_.chips_per_bit() * expected_bits;
   const std::size_t n_total = n_known + n_data;
-  cvec chips(n_total, cplx{});
+  auto chips_l = dsp::Workspace::local().take_c(n_total);
+  cvec& chips = *chips_l;
   {
     VAB_STAGE("demod.chips");
     for (std::size_t c = 0; c < n_total; ++c) {
@@ -225,8 +251,10 @@ DemodResult ReaderDemodulator::demodulate(const rvec& passband,
   }
 
   const std::size_t n_chips = n_data;
-  rvec soft(n_chips, 0.0);
-  rvec mags(n_chips, 0.0);
+  auto soft_l = dsp::Workspace::local().take_r(n_chips);
+  auto mags_l = dsp::Workspace::local().take_r(n_chips);
+  rvec& soft = *soft_l;
+  rvec& mags = *mags_l;
   for (std::size_t c = 0; c < n_chips; ++c) {
     soft[c] = (chips[n_known + c] * derot).real();
     mags[c] = std::abs(soft[c]);

@@ -62,10 +62,16 @@ class BackscatterModulator {
   /// Switch state for each passband sample.
   bitvec switch_waveform(const bitvec& payload_bits) const;
 
+  /// Out-parameter form; allocation-free when `wave` has capacity.
+  void switch_waveform(const bitvec& payload_bits, bitvec& wave) const;
+
   /// 1 where the frame (preamble + payload chips) is active, 0 during the
   /// idle padding. Polarity-modulated nodes only toggle inside the active
   /// region; outside it they sit absorptive (harvesting).
   bitvec active_mask(std::size_t n_payload_bits) const;
+
+  /// Out-parameter form of `active_mask`.
+  void active_mask(std::size_t n_payload_bits, bitvec& mask) const;
 
   /// Number of passband samples `switch_waveform` returns for a payload.
   std::size_t waveform_length(std::size_t n_payload_bits) const;
@@ -105,10 +111,21 @@ class ReaderDemodulator {
   /// Exposes the baseband (post-SIC) signal for diagnostics/benches.
   cvec to_baseband(const rvec& passband, double* suppression_db = nullptr) const;
 
+  /// Out-parameter form used on the trial hot path; the anti-alias filter
+  /// runs in decimated form (only kept samples are computed), so cost scales
+  /// with the baseband rate, not the passband rate.
+  void to_baseband(const rvec& passband, cvec& out,
+                   double* suppression_db = nullptr) const;
+
   const PhyConfig& config() const { return cfg_; }
 
  private:
   PhyConfig cfg_;
+  // Designed/derived once at construction so per-frame demodulation does not
+  // redo filter design or reference synthesis.
+  rvec lowpass_taps_;  ///< anti-alias FIR prototype
+  rvec pre_levels_;    ///< settle pilot + preamble chip levels
+  cvec sync_ref_;      ///< zero-meaned baseband-rate sync reference
 };
 
 /// Continuous reader carrier (projector drive), unit amplitude.

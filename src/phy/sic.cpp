@@ -17,6 +17,12 @@ SelfInterferenceCanceller::SelfInterferenceCanceller(const SicConfig& cfg,
 }
 
 cvec SelfInterferenceCanceller::process(const cvec& x, const cvec& reference) {
+  cvec y = x;
+  process_inplace(y, reference);
+  return y;
+}
+
+void SelfInterferenceCanceller::process_inplace(cvec& x, const cvec& reference) {
   if (!reference.empty() && reference.size() != x.size())
     throw std::invalid_argument("reference length mismatch");
 
@@ -25,7 +31,7 @@ cvec SelfInterferenceCanceller::process(const cvec& x, const cvec& reference) {
   for (const auto& v : x) mean_before += v;
   if (!x.empty()) mean_before /= static_cast<double>(x.size());
 
-  cvec y = x;
+  cvec& y = x;
   if (cfg_.enable_dc_notch) {
     // Stage 1 (static): subtract the full-capture complex mean. For an
     // unmodulated carrier blast this is exact — the blast can sit 80-90 dB
@@ -58,7 +64,6 @@ cvec SelfInterferenceCanceller::process(const cvec& x, const cvec& reference) {
   const double after = std::norm(mean_after);
   last_suppression_db_ =
       10.0 * std::log10(std::max(before, 1e-30) / std::max(after, 1e-30));
-  return y;
 }
 
 }  // namespace vab::phy

@@ -45,6 +45,9 @@ class SelfInterferenceCanceller {
   /// reference is assumed.
   cvec process(const cvec& x, const cvec& reference = {});
 
+  /// Allocation-free variant: cancels the carrier in place.
+  void process_inplace(cvec& x, const cvec& reference = {});
+
   /// Carrier suppression achieved on the last call, in dB (power at DC
   /// before vs after).
   double last_suppression_db() const { return last_suppression_db_; }

@@ -6,6 +6,7 @@
 
 #include "common/units.hpp"
 #include "dsp/correlate.hpp"
+#include "dsp/workspace.hpp"
 #include "obs/obs.hpp"
 #include "dsp/mixer.hpp"
 #include "phy/coding.hpp"
@@ -29,17 +30,22 @@ WaveformSimulator::WaveformSimulator(Scenario scenario, common::Rng& rng)
   static_amp_lin_ = scenario_.node.static_reflection_rel * mod_amp_lin_;
 }
 
-rvec WaveformSimulator::node_reflection_sequence(const bitvec& payload,
+void WaveformSimulator::node_reflection_sequence(const bitvec& payload,
                                                  std::size_t n_samples,
-                                                 std::size_t start_offset) const {
-  const bitvec states = modulator_.switch_waveform(payload);
-  const bitvec mask = modulator_.active_mask(payload.size());
+                                                 std::size_t start_offset,
+                                                 rvec& coef) const {
+  auto states_l = dsp::Workspace::local().take_b(0);
+  auto mask_l = dsp::Workspace::local().take_b(0);
+  bitvec& states = *states_l;
+  bitvec& mask = *mask_l;
+  modulator_.switch_waveform(payload, states);
+  modulator_.active_mask(payload.size(), mask);
   const bool polarity =
       scenario_.node.array.scheme == vanatta::ModulationScheme::kPolarity;
 
   // Per-state signed levels such that the differential amplitude is
   // mod_amp_lin_: polarity toggles +/-1, on-off toggles 0/2 around mean 1.
-  rvec coef(n_samples, static_amp_lin_);
+  coef.assign(n_samples, static_amp_lin_);
   for (std::size_t n = start_offset; n < n_samples; ++n) {
     const std::size_t k = n - start_offset;
     if (k >= states.size() || !mask[k]) continue;  // idle: absorptive
@@ -51,7 +57,6 @@ rvec WaveformSimulator::node_reflection_sequence(const bitvec& payload,
     }
     coef[n] += mod_amp_lin_ * level;
   }
-  return coef;
 }
 
 WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
@@ -83,7 +88,9 @@ WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
 
   const double spl = scenario_.reader.source_level_db;
   const double amp = common::pressure_from_spl(spl) * std::sqrt(2.0);  // peak from rms
-  const rvec tx = dsp::make_tone(phy.carrier_hz, fs, n_tx, amp);
+  auto tx_l = dsp::Workspace::local().take_r(0);
+  rvec& tx = *tx_l;
+  dsp::make_tone(phy.carrier_hz, fs, n_tx, amp, 0.0, tx);
 
   // Forward propagation (clean: the node is an analog reflector).
   channel::WaveformChannelConfig fwd_cfg;
@@ -95,20 +102,25 @@ WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
   fwd_cfg.surface_wave_amplitude_m = scenario_.env.surface_wave_amplitude_m;
   fwd_cfg.surface_wave_period_s = scenario_.env.surface_wave_period_s;
   channel::WaveformChannel fwd(fwd_cfg, *rng_);
-  const rvec incident = [&] {
+  auto incident_l = dsp::Workspace::local().take_r(0);
+  rvec& incident = *incident_l;
+  {
     VAB_STAGE("wave.channel.forward");
-    return fwd.propagate_clean(tx);
-  }();
+    fwd.propagate_clean(tx, incident);
+  }
 
   // Node reflection: the node starts its frame once the carrier reaches it
   // (carrier-detect trigger), i.e. after the direct forward delay.
   double fwd_direct_delay = fwd_taps.front().delay_s;
   for (const auto& t : fwd_taps) fwd_direct_delay = std::min(fwd_direct_delay, t.delay_s);
   const auto node_start = static_cast<std::size_t>(std::ceil(fwd_direct_delay * fs));
-  rvec reflected(incident.size());
+  auto reflected_l = dsp::Workspace::local().take_r(incident.size());
+  rvec& reflected = *reflected_l;
   {
     VAB_STAGE("wave.reflect");
-    const rvec coef = node_reflection_sequence(air_bits, incident.size(), node_start);
+    auto coef_l = dsp::Workspace::local().take_r(0);
+    rvec& coef = *coef_l;
+    node_reflection_sequence(air_bits, incident.size(), node_start, coef);
     for (std::size_t n = 0; n < incident.size(); ++n)
       reflected[n] = incident[n] * coef[n];
   }
@@ -119,20 +131,24 @@ WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
   ret_cfg.taps = ret_taps;
   ret_cfg.fault = fault_ ? &*fault_ : nullptr;
   channel::WaveformChannel ret(ret_cfg, *rng_);
-  rvec rx = [&] {
+  auto rx_l = dsp::Workspace::local().take_r(0);
+  rvec& rx = *rx_l;
+  {
     VAB_STAGE("wave.channel.return");
-    return ret.propagate(reflected);  // add_noise is off: clean + injected dips
-  }();
+    ret.propagate(reflected, rx);  // add_noise is off: clean + injected dips
+  }
 
   // Direct projector blast.
   channel::WaveformChannelConfig blast_cfg = fwd_cfg;
   blast_cfg.taps = blast_tap_set;
   blast_cfg.fading_sigma_db = 0.0;
   channel::WaveformChannel blast(blast_cfg, *rng_);
-  const rvec blast_rx = [&] {
+  auto blast_l = dsp::Workspace::local().take_r(0);
+  rvec& blast_rx = *blast_l;
+  {
     VAB_STAGE("wave.channel.blast");
-    return blast.propagate_clean(tx);
-  }();
+    blast.propagate_clean(tx, blast_rx);
+  }
   if (blast_rx.size() > rx.size()) rx.resize(blast_rx.size(), 0.0);
   for (std::size_t n = 0; n < blast_rx.size(); ++n) rx[n] += blast_rx[n];
 
@@ -141,14 +157,19 @@ WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
   // ~90 dB step into the AC-coupled receive chain and ring over the frame.
   const auto head = static_cast<std::size_t>(std::ceil(sep / c * fs)) + 256;
   const std::size_t tail_end = std::min(rx.size(), n_tx);
-  if (head < tail_end) rx = rvec(rx.begin() + static_cast<std::ptrdiff_t>(head),
-                                 rx.begin() + static_cast<std::ptrdiff_t>(tail_end));
+  if (head < tail_end) {
+    // In-place trim to [head, tail_end): no reallocation, same values as the
+    // historical copy-construction.
+    rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(head));
+    rx.resize(tail_end - head);
+  }
 
   // Ambient noise at the hydrophone.
   {
     VAB_STAGE("wave.noise");
-    const rvec noise =
-        channel::synthesize_ambient_noise(rx.size(), fs, scenario_.env.noise, *rng_);
+    auto noise_l = dsp::Workspace::local().take_r(0);
+    rvec& noise = *noise_l;
+    channel::synthesize_ambient_noise(rx.size(), fs, scenario_.env.noise, *rng_, noise);
     for (std::size_t n = 0; n < rx.size(); ++n) rx[n] += noise[n];
   }
 

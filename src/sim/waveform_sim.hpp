@@ -46,9 +46,10 @@ class WaveformSimulator {
 
  private:
   /// `start_offset` delays the frame: the node begins its transmission only
-  /// after the carrier reaches it (carrier-detect trigger).
-  rvec node_reflection_sequence(const bitvec& payload, std::size_t n_samples,
-                                std::size_t start_offset) const;
+  /// after the carrier reaches it (carrier-detect trigger). Writes the
+  /// per-sample reflection coefficient into `coef` (resized to n_samples).
+  void node_reflection_sequence(const bitvec& payload, std::size_t n_samples,
+                                std::size_t start_offset, rvec& coef) const;
 
   Scenario scenario_;
   common::Rng* rng_;

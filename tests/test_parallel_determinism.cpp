@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "dsp/correlate.hpp"
 #include "sim/montecarlo.hpp"
 #include "sim/scenario.hpp"
 #include "vanatta/mismatch.hpp"
@@ -130,6 +132,42 @@ TEST_F(DeterminismTest, MismatchMonteCarloBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(serial.mean_loss_db, r.mean_loss_db) << "threads=" << t;
     EXPECT_EQ(serial.p95_loss_db, r.p95_loss_db) << "threads=" << t;
     EXPECT_EQ(serial.worst_loss_db, r.worst_loss_db) << "threads=" << t;
+  }
+}
+
+TEST_F(DeterminismTest, FftCorrelationPipelineBitIdenticalAcrossThreadCounts) {
+  // The FFT overlap-save correlation path runs inside worker threads with
+  // thread-local plan caches and scratch arenas. Per-item results must be
+  // bit-identical regardless of which thread (and hence which cache/arena)
+  // serves the item, at 1, 2 and 8 threads.
+  constexpr std::size_t kItems = 24;
+  auto run = [&](unsigned threads) {
+    common::set_thread_count(threads);
+    std::vector<std::pair<std::size_t, double>> peaks(kItems);
+    common::parallel_for(std::size_t{0}, kItems, [&](std::size_t i) {
+      common::Rng master(97);
+      common::Rng rng = master.child(i);
+      cvec ref(360);
+      for (auto& v : ref) v = rng.complex_gaussian();
+      cvec sig(6000);
+      for (auto& v : sig) v = 0.2 * rng.complex_gaussian();
+      const std::size_t at = 500 + 200 * i;
+      for (std::size_t n = 0; n < ref.size(); ++n) sig[at + n] += ref[n];
+      const auto peak = dsp::find_peak(sig, ref, 0.5);
+      peaks[i] = peak ? std::make_pair(peak->index, peak->value)
+                      : std::make_pair(std::size_t{0}, -1.0);
+    });
+    return peaks;
+  };
+  const auto serial = run(1);
+  for (std::size_t i = 0; i < kItems; ++i)
+    ASSERT_EQ(serial[i].first, 500 + 200 * i) << "item " << i;
+  for (unsigned t : kThreadCounts) {
+    const auto r = run(t);
+    for (std::size_t i = 0; i < kItems; ++i) {
+      EXPECT_EQ(serial[i].first, r[i].first) << "threads=" << t << " item " << i;
+      EXPECT_EQ(serial[i].second, r[i].second) << "threads=" << t << " item " << i;
+    }
   }
 }
 
