@@ -1,0 +1,54 @@
+# First-class sanitizer wiring, replacing ad-hoc CMAKE_CXX_FLAGS injection.
+#
+# Usage:
+#   cmake -B build -S . -DVAB_SANITIZE="address;undefined"
+#   cmake -B build -S . -DVAB_SANITIZE=thread
+#
+# VAB_SANITIZE is a semicolon list drawn from: address, undefined, thread,
+# leak. The undefined sanitizer is built with -fno-sanitize-recover so any
+# UB aborts the process instead of logging and continuing — CI runs with
+# halt_on_error so a single finding fails the job. address+thread are
+# mutually exclusive (compiler restriction).
+#
+# Suppression files live in tools/sanitizers/ and are passed at *runtime*
+# via ASAN_OPTIONS / UBSAN_OPTIONS / TSAN_OPTIONS (see ci.yml and the
+# README "Static analysis & sanitizers" section); keeping them in-tree and
+# versioned means a suppression is reviewed like any other change.
+
+set(VAB_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers: address;undefined;thread;leak (empty = off)")
+
+if(NOT VAB_SANITIZE)
+  return()
+endif()
+
+set(_vab_san_known address undefined thread leak)
+set(_vab_san_flags "")
+foreach(_san IN LISTS VAB_SANITIZE)
+  if(NOT _san IN_LIST _vab_san_known)
+    message(FATAL_ERROR
+        "VAB_SANITIZE: unknown sanitizer '${_san}' (expected one of: ${_vab_san_known})")
+  endif()
+  list(APPEND _vab_san_flags "-fsanitize=${_san}")
+endforeach()
+
+if("address" IN_LIST VAB_SANITIZE AND "thread" IN_LIST VAB_SANITIZE)
+  message(FATAL_ERROR "VAB_SANITIZE: address and thread cannot be combined")
+endif()
+
+if("undefined" IN_LIST VAB_SANITIZE)
+  # Abort on the first UB finding; recovering would let a corrupted value
+  # propagate into seeded outputs and show up as a golden-pin mystery later.
+  list(APPEND _vab_san_flags "-fno-sanitize-recover=undefined")
+endif()
+
+# Sanitized stacks need frame pointers for usable reports, and -O1 keeps
+# interleaving realistic without optimizing away the checks' context.
+list(APPEND _vab_san_flags "-fno-omit-frame-pointer" "-g")
+
+add_compile_options(${_vab_san_flags})
+add_link_options(${_vab_san_flags})
+
+string(REPLACE ";" "+" _vab_san_label "${VAB_SANITIZE}")
+message(STATUS "VAB_SANITIZE: building with ${_vab_san_label} "
+               "(suppressions: tools/sanitizers/)")

@@ -1,6 +1,7 @@
 #include "common/config.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
 #include <stdexcept>
 
@@ -49,7 +50,7 @@ void Config::set(const std::string& key, const std::string& value) {
   values_[key] = value;
 }
 
-bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+bool Config::has(const std::string& key) const { return values_.contains(key); }
 
 std::string Config::get_string(const std::string& key, const std::string& fallback) const {
   const auto it = values_.find(key);
@@ -59,8 +60,14 @@ std::string Config::get_string(const std::string& key, const std::string& fallba
 double Config::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
+  // Strict parse: the whole value must be consumed. std::stod alone accepts
+  // "1.5abc" as 1.5, which silently turns a typo'd override (range_m=100m)
+  // into a plausible number instead of an error.
   try {
-    return std::stod(it->second);
+    std::size_t consumed = 0;
+    const double v = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing characters");
+    return v;
   } catch (const std::exception&) {
     throw std::invalid_argument("config key '" + key + "' is not a number: " + it->second);
   }
@@ -70,7 +77,10 @@ long Config::get_int(const std::string& key, long fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
-    return std::stol(it->second);
+    std::size_t consumed = 0;
+    const long v = std::stol(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing characters");
+    return v;
   } catch (const std::exception&) {
     throw std::invalid_argument("config key '" + key + "' is not an integer: " + it->second);
   }
@@ -80,7 +90,10 @@ bool Config::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   std::string v = it->second;
-  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  // Plain ::tolower(char) is UB for negative chars (cert-str34-c); widen
+  // through unsigned char first.
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
   if (v == "0" || v == "false" || v == "no" || v == "off") return false;
   throw std::invalid_argument("config key '" + key + "' is not a boolean: " + it->second);

@@ -12,6 +12,10 @@
 namespace vab::dsp {
 
 std::size_t next_pow2(std::size_t n) {
+  // Without the cap the loop would overflow p to 0 and spin forever for
+  // n > 2^63; no realistic signal gets there, so treat it as a hard error.
+  if (n > (std::size_t{1} << 62))
+    throw std::length_error("next_pow2: size exceeds 2^62");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -21,6 +25,10 @@ bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
 FftPlan::FftPlan(std::size_t n) : n_(n) {
   if (!is_pow2(n)) throw std::invalid_argument("fft size must be a power of two");
+  // The bit-reversal table holds 32-bit indices (half the plan's footprint
+  // for every realistic size); reject sizes whose indices would truncate.
+  if (n > (std::size_t{1} << 32))
+    throw std::length_error("fft size exceeds 2^32 (32-bit bit-reversal table)");
   // Bit-reversal permutation, same incremental construction the unplanned
   // transform ran per call.
   bitrev_.assign(n, 0);

@@ -23,7 +23,7 @@ bytes bytes_from_bits(const bitvec& bits) {
 std::uint16_t crc16(const bytes& data) {
   std::uint16_t crc = 0xFFFF;
   for (auto b : data) {
-    crc ^= static_cast<std::uint16_t>(b) << 8;
+    crc = static_cast<std::uint16_t>(crc ^ (static_cast<unsigned>(b) << 8));
     for (int i = 0; i < 8; ++i)
       crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
                            : static_cast<std::uint16_t>(crc << 1);

@@ -211,6 +211,9 @@ DemodResult ReaderDemodulator::demodulate(const rvec& passband,
       const double t1 = t0 + 0.6 * spc;
       cplx acc{};
       int cnt = 0;
+      // NOLINTNEXTLINE(cert-flp30-c): t0 is fractional (sub-sample sync) and
+      // every pinned output depends on this exact accumulate-by-1.0 rounding;
+      // an integer counter with t0 + k rounds differently at the last bit.
       for (double t = t0; t < t1 - 0.5; t += 1.0) {
         if (t >= 0.0 && t < static_cast<double>(bb.size() - 1)) {
           acc += dsp::sample_at(bb, t);

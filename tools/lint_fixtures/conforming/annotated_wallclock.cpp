@@ -1,0 +1,15 @@
+// Conforming: a deliberate wall-clock read, annotated with the rule id and
+// the reason the determinism contract is not at risk.
+#include <chrono>
+
+namespace vab::fixture {
+
+double watchdog_elapsed_s(
+    std::chrono::steady_clock::time_point start) {  // vab-lint: allow(no-wallclock) watchdog only logs, never feeds results
+  // vab-lint: allow(no-wallclock) watchdog only logs, never feeds results
+  const auto now = std::chrono::steady_clock::now();
+  // vab-lint: allow(no-wallclock) duration math on already-sampled points
+  return std::chrono::duration<double>(now - start).count();
+}
+
+}  // namespace vab::fixture

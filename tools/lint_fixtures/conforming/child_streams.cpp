@@ -1,0 +1,32 @@
+// Conforming: every parallel body derives a per-index child stream, so the
+// draws are a pure function of the trial index.
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace vab::fixture {
+
+using common::Rng;
+
+std::vector<double> fades(const Rng& rng, std::size_t trials) {
+  std::vector<double> out(trials);
+  common::parallel_for(0, trials, [&](std::size_t t) {
+    Rng trial_rng = rng.child(t);
+    out[t] = trial_rng.gaussian(0.0, 4.0);
+  });
+  return out;
+}
+
+double total_noise(const Rng& rng, std::size_t trials) {
+  return common::parallel_reduce(
+      0, trials, 0.0,
+      [&](std::size_t t) {
+        auto draw = rng.child(t);
+        return draw.uniform();
+      },
+      [](double a, double b) { return a + b; });
+}
+
+}  // namespace vab::fixture

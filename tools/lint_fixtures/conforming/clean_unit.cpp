@@ -1,0 +1,11 @@
+#include "clean_unit.hpp"
+
+namespace vab::fixture {
+
+std::vector<double> ramp(std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<double>(i);
+  return out;
+}
+
+}  // namespace vab::fixture

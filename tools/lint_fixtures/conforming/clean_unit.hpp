@@ -1,0 +1,11 @@
+// A self-contained header: #pragma once first, includes everything it uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace vab::fixture {
+
+std::vector<double> ramp(std::size_t n);
+
+}  // namespace vab::fixture

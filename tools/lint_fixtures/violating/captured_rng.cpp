@@ -1,0 +1,29 @@
+// expect: rng-child-discipline:2
+#include <cstddef>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace vab::fixture {
+
+using common::Rng;
+
+// The PR-1 hazard class: every trial draws from the same captured stream,
+// so the values each trial sees depend on which thread got there first.
+std::vector<double> fades(Rng& rng, std::size_t trials) {
+  std::vector<double> out(trials);
+  common::parallel_for(0, trials, [&](std::size_t t) {
+    out[t] = rng.gaussian(0.0, 4.0);
+  });
+  return out;
+}
+
+double total_noise(Rng& rng, std::size_t trials) {
+  return common::parallel_reduce(
+      0, trials, 0.0,
+      [&](std::size_t) { return rng.uniform(); },
+      [](double a, double b) { return a + b; });
+}
+
+}  // namespace vab::fixture

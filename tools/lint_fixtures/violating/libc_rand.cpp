@@ -1,0 +1,11 @@
+// expect: no-libc-rand:2
+#include <cstdlib>
+
+namespace vab::fixture {
+
+int noisy_sample() {
+  std::srand(42);             // hidden global state
+  return rand() % 100;        // not seedable per trial
+}
+
+}  // namespace vab::fixture

@@ -1,0 +1,10 @@
+// expect: pragma-once:1
+// A header without #pragma once: double inclusion redefines the struct.
+
+namespace vab::fixture {
+
+struct Sample {
+  double value = 0.0;
+};
+
+}  // namespace vab::fixture

@@ -1,0 +1,14 @@
+// expect: no-pointer-key-order:2
+#include <map>
+#include <set>
+
+namespace vab::fixture {
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, double> rssi_by_node;      // address order varies per run
+std::set<const Node*> seen;
+
+}  // namespace vab::fixture

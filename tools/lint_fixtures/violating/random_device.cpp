@@ -1,0 +1,12 @@
+// expect: no-random-device:1
+#include <random>
+
+namespace vab::fixture {
+
+double entropy_sample() {
+  std::random_device rd;
+  std::mt19937_64 engine(rd());
+  return static_cast<double>(engine()) / 1e19;
+}
+
+}  // namespace vab::fixture

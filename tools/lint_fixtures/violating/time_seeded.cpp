@@ -1,0 +1,18 @@
+// expect: no-time-seeded-rng:2
+// expect: no-wallclock:2
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace vab::fixture {
+
+std::mt19937_64 make_engine() {
+  return std::mt19937_64(std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+unsigned legacy_seed() {
+  std::minstd_rand gen(static_cast<unsigned>(time(nullptr)));
+  return gen();
+}
+
+}  // namespace vab::fixture

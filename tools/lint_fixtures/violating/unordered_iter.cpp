@@ -1,0 +1,24 @@
+// expect: no-unordered-iter:2
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace vab::fixture {
+
+double total_rssi(const std::unordered_map<std::uint8_t, double>& by_node) {
+  double sum = 0.0;
+  // Hash-order fold: float addition is not associative, so the result can
+  // differ between runs/platforms.
+  for (const auto& [node, rssi] : by_node) sum += rssi;
+  return sum;
+}
+
+std::vector<std::string> names(std::unordered_set<std::string> pool) {
+  std::vector<std::string> out;
+  for (auto it = pool.begin(); it != pool.end(); ++it) out.push_back(*it);
+  return out;
+}
+
+}  // namespace vab::fixture

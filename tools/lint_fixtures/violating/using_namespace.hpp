@@ -1,0 +1,12 @@
+// expect: no-using-namespace:1
+#pragma once
+
+#include <vector>
+
+using namespace std;  // leaks into every includer
+
+namespace vab::fixture {
+
+inline vector<double> zeros(size_t n) { return vector<double>(n, 0.0); }
+
+}  // namespace vab::fixture

@@ -1,0 +1,14 @@
+// expect: no-wallclock:3
+#include <chrono>
+
+namespace vab::fixture {
+
+bool poll_expired(double budget_s) {
+  // Real-time timeout inside protocol logic: outcomes now depend on host
+  // speed. Timeouts must run on simulated time.
+  const auto start = std::chrono::steady_clock::now();
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start).count() > budget_s;
+}
+
+}  // namespace vab::fixture

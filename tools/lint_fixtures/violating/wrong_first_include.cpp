@@ -1,0 +1,10 @@
+// expect: own-header-first:1
+#include <cmath>
+
+#include "wrong_first_include.hpp"
+
+namespace vab::fixture {
+
+double scale(double x) { return std::sqrt(x); }
+
+}  // namespace vab::fixture

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace vab::fixture {
+
+double scale(double x);
+
+}  // namespace vab::fixture

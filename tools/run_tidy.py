@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the `tidy` build target and the CI gate.
+
+Runs clang-tidy (configuration from the repo-root .clang-tidy) over every
+translation unit below the given roots that appears in the build's
+compile_commands.json, in parallel, and exits non-zero if any finding is
+emitted. This is deliberately a *zero-findings* gate rather than a
+diff-relative one: the tree is kept clean, so "new findings" and "findings"
+coincide and the gate needs no baseline bookkeeping.
+
+Usage:
+  tools/run_tidy.py --build-dir build [--clang-tidy clang-tidy-18] [src ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# clang-tidy exits 0 even when it prints warnings (unless -warnings-as-errors
+# is set); match finding lines ourselves so the gate is independent of
+# version-specific exit-code behavior.
+FINDING_RE = re.compile(r"^[^ ]+:\d+:\d+: (?:warning|error): ", re.MULTILINE)
+
+
+def load_database(build_dir: str) -> list[dict]:
+    path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as exc:
+        sys.exit(f"run_tidy: cannot read {path} ({exc}); "
+                 "configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON first")
+
+
+def select_files(database: list[dict], roots: list[str]) -> list[str]:
+    absroots = [os.path.abspath(r) for r in roots]
+    files = set()
+    for entry in database:
+        path = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        if any(os.path.commonpath([path, r]) == r for r in absroots if os.path.isdir(r)):
+            files.add(path)
+    return sorted(files)
+
+
+def run_one(clang_tidy: str, build_dir: str, path: str) -> tuple[str, str, int]:
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True, check=False)
+    findings = len(FINDING_RE.findall(proc.stdout))
+    # Hard tool failures (bad flags, crashes) must fail the gate too.
+    if proc.returncode != 0 and findings == 0:
+        findings = 1
+    return path, proc.stdout + proc.stderr, findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("roots", nargs="*", default=["src"],
+                        help="directories whose TUs get linted (default: src)")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit(f"run_tidy: {args.clang_tidy} not found on PATH")
+
+    files = select_files(load_database(args.build_dir), args.roots or ["src"])
+    if not files:
+        sys.exit("run_tidy: no translation units matched; check the roots")
+
+    total = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for path, output, findings in pool.map(
+                lambda p: run_one(args.clang_tidy, args.build_dir, p), files):
+            if findings:
+                total += findings
+                rel = os.path.relpath(path)
+                print(f"== {rel}: {findings} finding(s)")
+                print(output.rstrip())
+
+    print(f"run_tidy: {len(files)} TUs, {total} finding(s)")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Unit tests for the vab_lint rule engine, run as the VabLint.SelfTest ctest.
+
+Every fixture under tools/lint_fixtures/violating/ declares the findings it
+must produce with `// expect: <rule-id>:<count>` header comments; every file
+under conforming/ must produce none. A rule change that stops catching a
+fixture (or starts flagging clean idioms) fails here before it reaches the
+tree-wide gate.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import vab_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "lint_fixtures")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z0-9-]+):(\d+)")
+
+
+def fixture_files(kind: str) -> list[str]:
+    root = os.path.join(FIXTURES, kind)
+    return sorted(
+        os.path.join(root, name) for name in os.listdir(root)
+        if name.endswith(vab_lint.CXX_EXTENSIONS))
+
+
+def expected_findings(path: str) -> dict[str, int]:
+    with open(path, encoding="utf-8") as fh:
+        head = fh.read(2048)
+    return {rule: int(count) for rule, count in EXPECT_RE.findall(head)}
+
+
+def count_by_rule(findings: list[vab_lint.Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+class ViolatingFixtures(unittest.TestCase):
+    def test_every_fixture_detected_exactly(self):
+        checked = 0
+        for path in fixture_files("violating"):
+            expected = expected_findings(path)
+            if not expected:  # e.g. the self-containment fixture
+                continue
+            with self.subTest(fixture=os.path.basename(path)):
+                actual = count_by_rule(vab_lint.lint_file(path))
+                self.assertEqual(actual, expected)
+            checked += 1
+        self.assertGreaterEqual(checked, 8, "violating fixture set shrank")
+
+    def test_every_rule_has_a_violating_fixture(self):
+        covered = set()
+        for path in fixture_files("violating"):
+            covered.update(expected_findings(path))
+        self.assertEqual(covered, set(vab_lint.RULE_IDS),
+                         "each rule needs a fixture proving it still fires")
+
+
+class ConformingFixtures(unittest.TestCase):
+    def test_no_false_positives(self):
+        for path in fixture_files("conforming"):
+            with self.subTest(fixture=os.path.basename(path)):
+                self.assertEqual(
+                    [f.format() for f in vab_lint.lint_file(path)], [])
+
+
+class Annotations(unittest.TestCase):
+    def _lint_text(self, text: str, name: str = "snippet.cpp"):
+        src = vab_lint.SourceFile(name, text)
+        findings = []
+        for rule in vab_lint.RULES:
+            findings.extend(rule(src))
+        return findings
+
+    def test_allow_same_line(self):
+        text = 'int f() { return rand(); }  // vab-lint: allow(no-libc-rand) test shim\n'
+        self.assertEqual(self._lint_text(text), [])
+
+    def test_allow_previous_line(self):
+        text = ('// vab-lint: allow(no-libc-rand) test shim\n'
+                'int f() { return rand(); }\n')
+        self.assertEqual(self._lint_text(text), [])
+
+    def test_allow_is_rule_specific(self):
+        text = ('// vab-lint: allow(no-wallclock) wrong rule named\n'
+                'int f() { return rand(); }\n')
+        self.assertEqual(len(self._lint_text(text)), 1)
+
+    def test_allow_does_not_leak_past_next_line(self):
+        text = ('// vab-lint: allow(no-libc-rand) only covers the next line\n'
+                'int f();\n'
+                'int g() { return rand(); }\n')
+        self.assertEqual(len(self._lint_text(text)), 1)
+
+    def test_skip_file(self):
+        text = '// vab-lint: skip-file\nint f() { return rand(); }\n'
+        import tempfile
+        with tempfile.NamedTemporaryFile("w", suffix=".cpp", delete=False) as fh:
+            fh.write(text)
+            path = fh.name
+        try:
+            self.assertEqual(vab_lint.lint_file(path), [])
+        finally:
+            os.unlink(path)
+
+
+class CommentAndStringBlanking(unittest.TestCase):
+    def test_comments_do_not_trip_rules(self):
+        text = ('// rand() and std::random_device discussed in a comment\n'
+                '/* for (auto& kv : themap) also here */\n'
+                'int f();\n')
+        self.assertEqual(Annotations._lint_text(self, text), [])
+
+    def test_strings_do_not_trip_rules(self):
+        text = 'const char* kMsg = "never call rand() here";\n'
+        self.assertEqual(Annotations._lint_text(self, text), [])
+
+    def test_line_structure_preserved(self):
+        text = 'a /* multi\nline */ b\n"str\\"ing"\n'
+        blanked = vab_lint.blank_comments_and_strings(text)
+        self.assertEqual(blanked.count("\n"), text.count("\n"))
+
+
+class RuleDetails(unittest.TestCase):
+    def test_child_call_is_allowed_on_captured_rng(self):
+        text = ('void f(const Rng& rng) {\n'
+                '  parallel_for(0, n, [&](std::size_t t) {\n'
+                '    slots[t] = trial(rng.child(t));\n'
+                '  });\n'
+                '}\n')
+        findings = Annotations._lint_text(self, text)
+        self.assertEqual([f for f in findings
+                          if f.rule == "rng-child-discipline"], [])
+
+    def test_member_access_draw_flagged(self):
+        text = ('void f(Rng& rng) {\n'
+                '  parallel_reduce(0, n, 0.0,\n'
+                '      [&](std::size_t) { return rng.uniform(); },\n'
+                '      [](double a, double b) { return a + b; });\n'
+                '}\n')
+        findings = Annotations._lint_text(self, text)
+        self.assertEqual(len([f for f in findings
+                              if f.rule == "rng-child-discipline"]), 1)
+
+    def test_unordered_lookup_not_flagged(self):
+        text = ('std::unordered_map<int, double> cache;\n'
+                'double get(int k) { auto it = cache.find(k); '
+                'return it == cache.end() ? 0.0 : it->second; }\n')
+        self.assertEqual(Annotations._lint_text(self, text), [])
+
+
+@unittest.skipIf(shutil.which(os.environ.get("CXX", "g++")) is None,
+                 "no C++ compiler on PATH")
+class SelfContainment(unittest.TestCase):
+    CXX = os.environ.get("CXX", "g++")
+
+    def test_missing_include_detected(self):
+        bad = os.path.join(FIXTURES, "violating", "not_self_contained.hpp")
+        findings = vab_lint.check_self_contained([bad], [], self.CXX, jobs=2)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0].rule, "self-contained")
+
+    def test_clean_header_passes(self):
+        good = os.path.join(FIXTURES, "conforming", "clean_unit.hpp")
+        findings = vab_lint.check_self_contained([good], [], self.CXX, jobs=2)
+        self.assertEqual(findings, [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

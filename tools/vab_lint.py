@@ -1,0 +1,543 @@
+#!/usr/bin/env python3
+"""vab_lint: domain linter for determinism discipline and include hygiene.
+
+The repro's core guarantee is that every seeded experiment is bit-identical
+across thread counts and feature toggles. The golden-pin and multi-thread
+suites enforce that *dynamically*; this linter enforces the hazard classes
+*statically*, so a PR that reintroduces one fails CI before anyone has to
+debug a golden re-pin.
+
+Rules (suppress a deliberate use with `// vab-lint: allow(<rule-id>)` on the
+same or the preceding line; annotate *why* next to it):
+
+  no-libc-rand          rand()/srand()/rand_r(): process-global hidden state,
+                        not seedable per trial. Use common::Rng.
+  no-random-device      std::random_device: nondeterministic by definition.
+  no-time-seeded-rng    constructing/seeding an RNG from a clock: every run
+                        gets a different stream.
+  no-unordered-iter     iterating an unordered_{map,set}: the visit order
+                        depends on hash seeding/load factor and may feed
+                        results or reductions in unstable order. Iterate a
+                        sorted copy, or keep a deterministic index.
+  no-pointer-key-order  std::map/std::set keyed on a raw pointer: ordering
+                        follows allocation addresses, which vary run to run
+                        (ASLR) and thread to thread.
+  no-wallclock          std::chrono clocks / time() / gettimeofday outside
+                        the observability layer: wall-clock reads feeding
+                        logic make outcomes timing-dependent. Telemetry
+                        belongs in obs/, timeouts in simulated time.
+  rng-child-discipline  a parallel_for/parallel_reduce body drawing from an
+                        Rng it captured instead of a per-index child stream:
+                        draw order then depends on scheduling. Derive
+                        `rng.child(i)` (or pass it straight through) inside
+                        the body.
+  pragma-once           every header starts with #pragma once.
+  own-header-first      foo.cpp includes its own header before any other
+                        include, proving the header is self-sufficient at
+                        its primary point of use.
+  no-using-namespace    file-scope `using namespace` in a header leaks into
+                        every includer.
+
+Modes:
+  vab_lint.py <root>...                 lint sources under the roots
+  vab_lint.py --self-contained <root>   additionally compile each header in
+                                        isolation (g++ -fsyntax-only) to
+                                        prove self-containment
+  vab_lint.py --list-rules              print rule ids and exit
+
+Exit status: 0 clean, 1 findings, 2 usage/tool error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+
+CXX_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
+HEADER_EXTENSIONS = (".hpp", ".hh", ".h")
+
+ALLOW_RE = re.compile(r"//\s*vab-lint:\s*allow\(([a-z0-9-]+)\)")
+SKIP_FILE_RE = re.compile(r"//\s*vab-lint:\s*skip-file")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed translation unit: raw text plus a comment/string-blanked
+    shadow with identical line structure, so rules can regex without false
+    positives inside comments or string literals."""
+
+    path: str
+    raw: str
+    code: str = field(init=False)
+    raw_lines: list[str] = field(init=False)
+    code_lines: list[str] = field(init=False)
+    allowed: dict[int, set[str]] = field(init=False)  # line -> rule ids
+
+    def __post_init__(self) -> None:
+        self.raw_lines = self.raw.splitlines()
+        self.code = blank_comments_and_strings(self.raw)
+        self.code_lines = self.code.splitlines()
+        self.allowed = {}
+        for i, line in enumerate(self.raw_lines, start=1):
+            for match in ALLOW_RE.finditer(line):
+                # An annotation covers its own line and the next one, so it
+                # can sit above the flagged statement or trail it.
+                self.allowed.setdefault(i, set()).add(match.group(1))
+                self.allowed.setdefault(i + 1, set()).add(match.group(1))
+
+    @property
+    def is_header(self) -> bool:
+        return self.path.endswith(HEADER_EXTENSIONS)
+
+    def is_allowed(self, line: int, rule: str) -> bool:
+        return rule in self.allowed.get(line, set())
+
+    def line_of(self, offset: int) -> int:
+        return self.code.count("\n", 0, offset) + 1
+
+
+def blank_comments_and_strings(text: str) -> str:
+    """Replaces comment and string-literal contents with spaces, preserving
+    newlines so offsets map to the same line numbers."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+                out.append(quote)
+            elif ch == "\n":  # unterminated; resync rather than cascade
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def match_findings(src: SourceFile, rule: str, pattern: re.Pattern,
+                   message: str) -> list[Finding]:
+    found = []
+    for m in pattern.finditer(src.code):
+        line = src.line_of(m.start())
+        if not src.is_allowed(line, rule):
+            found.append(Finding(src.path, line, rule, message))
+    return found
+
+
+# --- nondeterminism bans ----------------------------------------------------
+
+LIBC_RAND_RE = re.compile(
+    r"\bstd\s*::\s*s?rand\s*\(|(?<![\w:.])(?:s?rand|rand_r)\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\bstd\s*::\s*random_device\b")
+
+RNG_TOKEN_RE = re.compile(
+    r"\b(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|ranlux\w+|"
+    r"knuth_b|Rng)\b")
+TIME_TOKEN_RE = re.compile(
+    r"\bstd\s*::\s*chrono\b|(?<![\w:])time\s*\(|\bclock\s*\(\)|\brdtsc\b|"
+    r"\bgettimeofday\b")
+
+POINTER_KEY_RE = re.compile(
+    r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?[\w:]+"
+    r"(?:\s*<[^<>]*>)?\s*\*")
+
+WALLCLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\b|\bsteady_clock\b|\bsystem_clock\b|"
+    r"\bhigh_resolution_clock\b|\bgettimeofday\b|(?<![\w:.])time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+
+# Paths (relative, slash-normalized) where wall-clock reads are legitimate:
+# the observability layer exists to measure real time, the logger stamps it,
+# and the thread pool parks workers on real-time waits.
+WALLCLOCK_ALLOWED_PARTS = ("obs/", "common/log", "common/parallel")
+
+
+def rule_no_libc_rand(src: SourceFile) -> list[Finding]:
+    return match_findings(
+        src, "no-libc-rand", LIBC_RAND_RE,
+        "libc rand()/srand() has process-global state; use common::Rng")
+
+
+def rule_no_random_device(src: SourceFile) -> list[Finding]:
+    return match_findings(
+        src, "no-random-device", RANDOM_DEVICE_RE,
+        "std::random_device is nondeterministic; seed a common::Rng explicitly")
+
+
+def rule_no_time_seeded_rng(src: SourceFile) -> list[Finding]:
+    found = []
+    for i, line in enumerate(src.code_lines, start=1):
+        if RNG_TOKEN_RE.search(line) and TIME_TOKEN_RE.search(line):
+            if not src.is_allowed(i, "no-time-seeded-rng"):
+                found.append(Finding(
+                    src.path, i, "no-time-seeded-rng",
+                    "seeding an RNG from a clock makes every run different; "
+                    "derive seeds from the experiment seed"))
+    return found
+
+
+def rule_no_pointer_key_order(src: SourceFile) -> list[Finding]:
+    return match_findings(
+        src, "no-pointer-key-order", POINTER_KEY_RE,
+        "ordered container keyed on a raw pointer orders by allocation "
+        "address (varies per run); key on a stable id instead")
+
+
+def rule_no_wallclock(src: SourceFile) -> list[Finding]:
+    norm = src.path.replace(os.sep, "/")
+    if any(part in norm for part in WALLCLOCK_ALLOWED_PARTS):
+        return []
+    return match_findings(
+        src, "no-wallclock", WALLCLOCK_RE,
+        "wall-clock read outside obs/: route timing through the "
+        "observability layer or simulated time")
+
+
+# --- unordered iteration ----------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*[&*]?\s*"
+    r"(\w+)\s*[;{=,)]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,&*\s\[\]]+?:\s*(\w+)\s*\)")
+ITER_LOOP_RE = re.compile(r"=\s*(\w+)\s*\.\s*(?:begin|cbegin)\s*\(")
+
+
+def rule_no_unordered_iter(src: SourceFile) -> list[Finding]:
+    unordered_names = set(UNORDERED_DECL_RE.findall(src.code))
+    if not unordered_names:
+        return []
+    found = []
+    for pattern in (RANGE_FOR_RE, ITER_LOOP_RE):
+        for m in pattern.finditer(src.code):
+            name = m.group(1)
+            if name not in unordered_names:
+                continue
+            line = src.line_of(m.start())
+            if not src.is_allowed(line, "no-unordered-iter"):
+                found.append(Finding(
+                    src.path, line, "no-unordered-iter",
+                    f"iteration over unordered container '{name}' visits in "
+                    "hash order; sort the keys (or the results) before they "
+                    "feed any output or reduction"))
+    return found
+
+
+# --- Rng stream discipline in parallel bodies -------------------------------
+
+PARALLEL_CALL_RE = re.compile(r"\bparallel_(?:for|reduce)\s*(?:<[^;{}]*?>)?\s*\(")
+RNG_LOCAL_DECL_RE = re.compile(r"\bRng\s*&?\s+(\w+)\s*[=({]")
+CHILD_DERIVED_RE = re.compile(r"\b(?:auto|Rng)\s*&?\s+(\w+)\s*=\s*[\w.\->]+child\s*\(")
+DRAW_CALL_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)\s*"
+    r"(uniform|uniform_int|gaussian|complex_gaussian|coin|random_bits|"
+    r"gaussian_vector|engine)\s*\(")
+
+
+def extract_balanced(text: str, open_idx: int, open_ch: str, close_ch: str) -> tuple[int, int]:
+    """Returns (start, end) spanning the balanced region starting at the
+    opener at open_idx, or (-1, -1) when unbalanced."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        ch = text[i]
+        if ch == open_ch:
+            depth += 1
+        elif ch == close_ch:
+            depth -= 1
+            if depth == 0:
+                return open_idx, i
+    return -1, -1
+
+
+def rule_rng_child_discipline(src: SourceFile) -> list[Finding]:
+    found = []
+    for call in PARALLEL_CALL_RE.finditer(src.code):
+        open_paren = src.code.index("(", call.end() - 1)
+        _, close_paren = extract_balanced(src.code, open_paren, "(", ")")
+        if close_paren < 0:
+            continue
+        args = src.code[open_paren:close_paren + 1]
+        base = open_paren
+        # Names that may legally be drawn from inside the body: lambda
+        # parameters and Rngs derived inside the call's argument region
+        # (locals like `Rng trial_rng = rng.child(t);`).
+        local = set(CHILD_DERIVED_RE.findall(args))
+        local.update(RNG_LOCAL_DECL_RE.findall(args))
+        for lam in re.finditer(r"\[[^\]\n]*\]\s*\(([^)]*)\)", args):
+            for param in lam.group(1).split(","):
+                param = param.strip()
+                if param:
+                    local.add(param.split()[-1].lstrip("&*"))
+        for draw in DRAW_CALL_RE.finditer(args):
+            name = draw.group(1)
+            if name in local:
+                continue
+            line = src.line_of(base + draw.start())
+            if not src.is_allowed(line, "rng-child-discipline"):
+                found.append(Finding(
+                    src.path, line, "rng-child-discipline",
+                    f"'{name}.{draw.group(2)}()' draws from a captured Rng "
+                    "inside a parallel body; derive a per-index stream with "
+                    f"'{name}.child(i)' so draw order cannot depend on "
+                    "scheduling"))
+    return found
+
+
+# --- include hygiene --------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+([<"])([^">]+)[">]', re.MULTILINE)
+
+
+def rule_pragma_once(src: SourceFile) -> list[Finding]:
+    if not src.is_header:
+        return []
+    for i, line in enumerate(src.code_lines, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if re.match(r"#\s*pragma\s+once\b", stripped):
+            return []
+        return [Finding(src.path, i, "pragma-once",
+                        "header must start with #pragma once (before any "
+                        "code)")]
+    return [Finding(src.path, 1, "pragma-once", "empty header lacks #pragma once")]
+
+
+def rule_own_header_first(src: SourceFile) -> list[Finding]:
+    if src.is_header:
+        return []
+    stem = os.path.splitext(src.path)[0]
+    own = None
+    for ext in HEADER_EXTENSIONS:
+        if os.path.exists(stem + ext):
+            own = os.path.basename(stem + ext)
+            break
+    if own is None:
+        return []
+    # Include paths are string literals, so match the raw text; the blanked
+    # shadow is only consulted to skip includes inside comments.
+    first = None
+    for m in INCLUDE_RE.finditer(src.raw):
+        line = src.raw.count("\n", 0, m.start()) + 1
+        if "include" in src.code_lines[line - 1]:
+            first = (m, line)
+            break
+    if first is None:
+        return []
+    m, line = first
+    if m.group(1) == '"' and os.path.basename(m.group(2)) == own:
+        return []
+    if src.is_allowed(line, "own-header-first"):
+        return []
+    return [Finding(src.path, line, "own-header-first",
+                    f'first include must be the unit\'s own header "{own}" '
+                    "(proves the header is self-contained)")]
+
+
+def rule_no_using_namespace(src: SourceFile) -> list[Finding]:
+    if not src.is_header:
+        return []
+    return match_findings(
+        src, "no-using-namespace",
+        re.compile(r"^\s*using\s+namespace\s+\w", re.MULTILINE),
+        "`using namespace` in a header leaks into every includer")
+
+
+RULES = [
+    rule_no_libc_rand,
+    rule_no_random_device,
+    rule_no_time_seeded_rng,
+    rule_no_unordered_iter,
+    rule_no_pointer_key_order,
+    rule_no_wallclock,
+    rule_rng_child_discipline,
+    rule_pragma_once,
+    rule_own_header_first,
+    rule_no_using_namespace,
+]
+
+RULE_IDS = [
+    "no-libc-rand", "no-random-device", "no-time-seeded-rng",
+    "no-unordered-iter", "no-pointer-key-order", "no-wallclock",
+    "rng-child-discipline", "pragma-once", "own-header-first",
+    "no-using-namespace",
+]
+
+
+def lint_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        raw = fh.read()
+    if SKIP_FILE_RE.search(raw):
+        return []
+    src = SourceFile(path, raw)
+    findings = []
+    seen = set()
+    for rule in RULES:
+        for finding in rule(src):
+            # One report per (line, rule): a single hazardous statement often
+            # trips several sub-patterns of the same rule.
+            key = (finding.line, finding.rule)
+            if key not in seen:
+                seen.add(key)
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.rule))
+    return findings
+
+
+def collect_sources(roots: list[str]) -> list[str]:
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(set(files))
+
+
+# --- header self-containment (compile check) --------------------------------
+
+def check_self_contained(headers: list[str], include_dirs: list[str],
+                         cxx: str, jobs: int) -> list[Finding]:
+    """Compiles `#include "<header>"` alone per header: a header that leans
+    on its includers' includes fails here with the real compiler error."""
+
+    def compile_one(header: str) -> Finding | None:
+        with tempfile.NamedTemporaryFile(
+                mode="w", suffix=".cpp", delete=False) as tu:
+            tu.write(f'#include "{os.path.abspath(header)}"\n')
+            tu_path = tu.name
+        try:
+            cmd = [cxx, "-std=c++20", "-fsyntax-only"]
+            for inc in include_dirs:
+                cmd += ["-I", inc]
+            proc = subprocess.run(cmd + [tu_path], capture_output=True,
+                                  text=True, check=False)
+            if proc.returncode != 0:
+                first_error = next(
+                    (ln for ln in proc.stderr.splitlines() if "error:" in ln),
+                    proc.stderr.strip().splitlines()[-1] if proc.stderr.strip() else "compile failed")
+                return Finding(header, 1, "self-contained",
+                               f"header does not compile in isolation: {first_error}")
+            return None
+        finally:
+            os.unlink(tu_path)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        return [f for f in pool.map(compile_one, headers) if f is not None]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="determinism/hygiene linter for the vab tree")
+    parser.add_argument("roots", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--self-contained", action="store_true",
+                        help="also compile every header in isolation")
+    parser.add_argument("--include-dir", action="append", default=[],
+                        help="extra -I for --self-contained (default: each root)")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "g++"))
+    parser.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule_id in RULE_IDS + ["self-contained"]:
+            print(rule_id)
+        return 0
+
+    roots = args.roots or ["src"]
+    files = collect_sources(roots)
+    if not files:
+        print(f"vab_lint: no C++ sources under {roots}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in files:
+        findings.extend(lint_file(path))
+
+    if args.self_contained:
+        if shutil.which(args.cxx) is None:
+            print(f"vab_lint: --self-contained needs {args.cxx} on PATH",
+                  file=sys.stderr)
+            return 2
+        headers = [f for f in files if f.endswith(HEADER_EXTENSIONS)]
+        include_dirs = args.include_dir or [
+            r for r in roots if os.path.isdir(r)]
+        findings.extend(check_self_contained(
+            headers, include_dirs, args.cxx, args.jobs))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for finding in findings:
+        print(finding.format())
+    checked = f"{len(files)} files"
+    if args.self_contained:
+        checked += " (+ header self-containment)"
+    print(f"vab_lint: {checked}, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
