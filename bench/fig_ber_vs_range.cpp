@@ -91,7 +91,8 @@ int main(int argc, char** argv) {
     const auto& stats = res.waveform[i];
     v.add_row({common::Table::num(wf_ranges[i], 0),
                std::to_string(stats.frames_ok) + "/" + std::to_string(stats.trials),
-               common::Table::sci(stats.ber()), common::Table::num(stats.mean_snr_db, 1)});
+               common::Table::sci(stats.ber()),
+               common::Table::num(stats.mean_snr_db, 1)});
   }
   bench::emit(v, common::Config{});
 

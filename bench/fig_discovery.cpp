@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
         net::DiscoveryConfig dc;
         dc.reply_loss_prob = loss;
         dc.max_rounds = 256;
-        common::Rng local = rng.child(n * 1000 + s + static_cast<std::uint64_t>(loss * 10));
+        common::Rng local =
+            rng.child(n * 1000 + s + static_cast<std::uint64_t>(loss * 10));
         const auto res = net::run_discovery(pop, dc, local);
         per_seed[s] = {res.total_slots, res.complete};
       });

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   using namespace vab;
   const auto cfg = common::Config::from_args(argc, argv);
   bench::banner("EXT-1", "Uplink line codes: FM0 vs Miller",
-                "FM0 pushes data off the carrier; Miller goes further at a bandwidth cost");
+                "FM0 pushes data off the carrier; "
+                "Miller goes further at a bandwidth cost");
 
   common::Rng rng(static_cast<std::uint64_t>(cfg.get_int("seed", 21)));
   bench::init_threads(cfg);

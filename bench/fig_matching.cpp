@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
     const double m = mt.radiated_fraction(f);
     const double u = mt.radiated_fraction_unmatched(f);
     t.add_row({common::Table::num(f, 0), common::Table::num(m, 3),
-               common::Table::num(u, 3), common::Table::num(std::abs(bvd.impedance(f)), 1),
+               common::Table::num(u, 3),
+               common::Table::num(std::abs(bvd.impedance(f)), 1),
                common::Table::num(10.0 * std::log10(std::max(m, 1e-12) /
                                                     std::max(u, 1e-12)),
                                   1)});

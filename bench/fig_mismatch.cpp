@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
         ac, 0.0, 18500.0, common::deg_to_rad(sigma_deg), 0.0, trials, local);
     t.add_row({common::Table::num(sigma_deg, 0),
                common::Table::num(sigma_deg / 360.0 * lambda_mm, 2),
-               common::Table::num(r.mean_loss_db, 2), common::Table::num(r.p95_loss_db, 2),
+               common::Table::num(r.mean_loss_db, 2),
+               common::Table::num(r.p95_loss_db, 2),
                common::Table::num(r.worst_loss_db, 2)});
   }
   bench::emit(t, cfg);

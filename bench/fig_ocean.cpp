@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   const auto stats = sim::run_waveform_trials(s, 3, 64, wrng);
   std::cout << "waveform check @" << s.range_m << " m: frames_ok=" << stats.frames_ok
             << "/" << stats.trials << " ber=" << stats.ber() << "\n";
-  bench::emit_timing("E4", "sweep+waveform", sw.seconds(), 2 * ranges.size() * trials + 3);
+  bench::emit_timing("E4", "sweep+waveform", sw.seconds(),
+                     2 * ranges.size() * trials + 3);
   return 0;
 }

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   const double range = cfg.get_double("range_m", 200.0);
   bench::init_threads(cfg);
   bench::Stopwatch sw;
-  common::Table t({"angle_deg", "vanatta_snr_db", "fixed_array_snr_db", "single_elem_snr_db"});
+  common::Table t(
+      {"angle_deg", "vanatta_snr_db", "fixed_array_snr_db", "single_elem_snr_db"});
   for (double deg = -60.0; deg <= 60.0 + 1e-9; deg += 10.0) {
     rvec row;
     for (auto mode : {vanatta::ArrayMode::kVanAtta, vanatta::ArrayMode::kFixedPhase,

@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
   using namespace vab;
   const auto cfg_args = common::Config::from_args(argc, argv);
   bench::banner("E8", "Self-interference cancellation",
-                "the direct blast sits tens of dB above the backscatter; SIC recovers it");
+                "the direct blast sits tens of dB above the backscatter; "
+                "SIC recovers it");
 
   common::Rng rng(static_cast<std::uint64_t>(cfg_args.get_int("seed", 8)));
   bench::init_threads(cfg_args);
@@ -89,7 +90,8 @@ int main(int argc, char** argv) {
     cfg.sic.enable_dc_notch = ablations[i].notch;
     cfg.enable_equalizer = ablations[i].eq;
     common::Rng local =
-        rng.child(static_cast<std::uint64_t>(ablations[i].notch * 2 + ablations[i].eq + 10));
+        rng.child(static_cast<std::uint64_t>(ablations[i].notch * 2 +
+                                             ablations[i].eq + 10));
     const bitvec payload = local.random_bits(64);
     const double mod_amp = 1e-4;
     const rvec x = make_capture(cfg, payload, mod_amp, 1.0, mod_amp * 0.05, local);

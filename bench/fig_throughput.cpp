@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   bench::Stopwatch sw;
 
   const std::vector<double> bitrates{100, 200, 500, 1000, 2000};
-  common::Table t({"bitrate_bps", "max_range_m_ber1e-3", "snr_at_300m_db", "ber_at_300m"});
+  common::Table t(
+      {"bitrate_bps", "max_range_m_ber1e-3", "snr_at_300m_db", "ber_at_300m"});
   for (std::size_t i = 0; i < bitrates.size(); ++i) {
     sim::Scenario s = sim::vab_river_scenario();
     s.phy.bitrate_bps = bitrates[i];

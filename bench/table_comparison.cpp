@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
   bench::emit(t, cfg);
   // Each max_range_m bisection runs up to 26 Monte-Carlo batches of `trials`
   // packets; two bisections (broadside + 30 deg) per system.
-  bench::emit_timing("E5", "max_range_bisect", sw.seconds(), rows.size() * 2 * 26 * trials);
+  bench::emit_timing("E5", "max_range_bisect", sw.seconds(),
+                     rows.size() * 2 * 26 * trials);
 
   std::cout << "note: all systems share the projector, carrier, bitrate and node power\n"
                "budget; the range gain comes from the retrodirective array + the\n"

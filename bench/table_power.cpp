@@ -20,10 +20,12 @@ int main(int argc, char** argv) {
   const piezo::PowerBudget power{};
   common::Table s({"state", "power_uW"});
   s.add_row({"sleep (RTC + leakage)", common::Table::num(power.sleep_w * 1e6, 2)});
-  s.add_row({"downlink listen (envelope det.)", common::Table::num(power.rx_listen_w * 1e6, 1)});
+  s.add_row({"downlink listen (envelope det.)",
+             common::Table::num(power.rx_listen_w * 1e6, 1)});
   s.add_row({"backscatter uplink (FM0 + switches)",
              common::Table::num(power.backscatter_w * 1e6, 1)});
-  s.add_row({"MCU active (sensor burst)", common::Table::num(power.mcu_active_w * 1e6, 0)});
+  s.add_row({"MCU active (sensor burst)",
+             common::Table::num(power.mcu_active_w * 1e6, 0)});
   bench::emit(s, cfg);
 
   common::Table e({"bitrate_bps", "energy_per_bit_nJ"});

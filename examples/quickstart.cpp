@@ -48,8 +48,10 @@ int main(int argc, char** argv) {
   std::cout << "  sync:            " << (res.demod.sync_found ? "yes" : "NO") << " (corr "
             << common::Table::num(res.demod.corr_peak, 2) << ")\n";
   std::cout << "  bit errors:      " << res.bit_errors << " / " << payload.size() << "\n";
-  std::cout << "  chip SNR:        " << common::Table::num(res.demod.snr_db, 1) << " dB\n";
-  std::cout << "  SIC suppression: " << common::Table::num(res.demod.sic_suppression_db, 1)
+  std::cout << "  chip SNR:        " << common::Table::num(res.demod.snr_db, 1)
+            << " dB\n";
+  std::cout << "  SIC suppression: "
+            << common::Table::num(res.demod.sic_suppression_db, 1)
             << " dB\n";
   std::cout << "  channel fit err: " << common::Table::num(res.demod.channel_fit_error, 3)
             << "\n";

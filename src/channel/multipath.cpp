@@ -39,7 +39,8 @@ std::vector<PathTap> image_method_taps(double range_m, double src_depth_m,
   if (sound_speed_mps <= 0.0) throw std::invalid_argument("sound speed must be > 0");
 
   const double direct_r =
-      std::sqrt(range_m * range_m + (rx_depth_m - src_depth_m) * (rx_depth_m - src_depth_m));
+      std::sqrt(range_m * range_m +
+                (rx_depth_m - src_depth_m) * (rx_depth_m - src_depth_m));
   const double spread_exp = cfg.spreading_coeff / 20.0;
   const double direct_amp = std::pow(std::max(direct_r, 1.0), -spread_exp);
 
@@ -56,11 +57,13 @@ std::vector<PathTap> image_method_taps(double range_m, double src_depth_m,
       const double dz = zeta - src_depth_m;
       const double r = std::sqrt(range_m * range_m + dz * dz);
       const double bounce_loss_db =
-          static_cast<double>(s) * cfg.surface_loss_db + static_cast<double>(b) * cfg.bottom_loss_db;
+          static_cast<double>(s) * cfg.surface_loss_db +
+          static_cast<double>(b) * cfg.bottom_loss_db;
       double amp = std::pow(10.0, -bounce_loss_db / 20.0) *
                    std::pow(std::max(r, 1.0), -spread_exp);
       if (cfg.absorption_freq_hz > 0.0)
-        amp *= std::pow(10.0, -absorption_loss_db(cfg.absorption_freq_hz, r, cfg.water) / 20.0);
+        amp *= std::pow(
+            10.0, -absorption_loss_db(cfg.absorption_freq_hz, r, cfg.water) / 20.0);
       if (amp < cfg.min_relative_amplitude * direct_amp) continue;
 
       const double sign = (s % 2 == 0) ? 1.0 : -1.0;

@@ -111,7 +111,9 @@ std::vector<RayArrival> trace_eigenrays(double range_m, double src_depth_m,
   out.reserve(best.size());
   for (const auto& [key, b] : best) out.push_back(b.arrival);
   std::sort(out.begin(), out.end(),
-            [](const RayArrival& a, const RayArrival& b2) { return a.delay_s < b2.delay_s; });
+            [](const RayArrival& a, const RayArrival& b2) {
+              return a.delay_s < b2.delay_s;
+            });
   return out;
 }
 

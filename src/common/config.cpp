@@ -52,7 +52,8 @@ void Config::set(const std::string& key, const std::string& value) {
 
 bool Config::has(const std::string& key) const { return values_.contains(key); }
 
-std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
   const auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;
 }
@@ -69,7 +70,8 @@ double Config::get_double(const std::string& key, double fallback) const {
     if (consumed != it->second.size()) throw std::invalid_argument("trailing characters");
     return v;
   } catch (const std::exception&) {
-    throw std::invalid_argument("config key '" + key + "' is not a number: " + it->second);
+    throw std::invalid_argument("config key '" + key +
+                                "' is not a number: " + it->second);
   }
 }
 
@@ -82,7 +84,8 @@ long Config::get_int(const std::string& key, long fallback) const {
     if (consumed != it->second.size()) throw std::invalid_argument("trailing characters");
     return v;
   } catch (const std::exception&) {
-    throw std::invalid_argument("config key '" + key + "' is not an integer: " + it->second);
+    throw std::invalid_argument("config key '" + key +
+                                "' is not an integer: " + it->second);
   }
 }
 

@@ -11,7 +11,8 @@ namespace vab::common {
 /// Dense row-major complex matrix.
 class CMatrix {
  public:
-  CMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
 
   cplx& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   const cplx& at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }

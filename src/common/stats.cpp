@@ -76,7 +76,8 @@ rvec linspace(double lo, double hi, std::size_t n) {
 }
 
 rvec logspace(double lo, double hi, std::size_t n) {
-  if (lo <= 0.0 || hi <= 0.0) throw std::invalid_argument("logspace needs positive bounds");
+  if (lo <= 0.0 || hi <= 0.0)
+    throw std::invalid_argument("logspace needs positive bounds");
   rvec exps = linspace(std::log10(lo), std::log10(hi), n);
   for (auto& e : exps) e = std::pow(10.0, e);
   return exps;

@@ -18,7 +18,8 @@ StorageCapacitor::StorageCapacitor(CapacitorConfig cfg) : cfg_(cfg) {
 
 void StorageCapacitor::charge(double power_w, double dt_s) {
   if (power_w < 0.0 || dt_s < 0.0) throw std::invalid_argument("negative charge");
-  energy_j_ = std::min(energy_j_ + power_w * dt_s, energy_for_voltage(cfg_.max_voltage_v));
+  energy_j_ =
+      std::min(energy_j_ + power_w * dt_s, energy_for_voltage(cfg_.max_voltage_v));
   if (voltage() >= cfg_.brownout_voltage_v) browned_out_ = false;
 }
 

@@ -46,7 +46,8 @@ class NetworkSimulator {
                    net::MacTiming timing = {});
 
   /// Runs `rounds` TDMA inventory rounds with `payload_bytes` per report.
-  NetworkResult run(std::size_t rounds, std::size_t payload_bytes, common::Rng& rng) const;
+  NetworkResult run(std::size_t rounds, std::size_t payload_bytes,
+                    common::Rng& rng) const;
 
   const std::vector<NetworkNode>& nodes() const { return nodes_; }
 

@@ -11,7 +11,8 @@ namespace {
 double alpha_from_samples(double n) { return 1.0 - std::exp(-1.0 / std::max(n, 1.0)); }
 }  // namespace
 
-Agc::Agc(double target_rms, double attack_samples, double release_samples, double max_gain)
+Agc::Agc(double target_rms, double attack_samples, double release_samples,
+         double max_gain)
     : target_(target_rms),
       attack_alpha_(alpha_from_samples(attack_samples)),
       release_alpha_(alpha_from_samples(release_samples)),

@@ -42,7 +42,8 @@ rvec design_lowpass(double cutoff_hz, double fs_hz, std::size_t taps, WindowType
   return h;
 }
 
-rvec design_highpass(double cutoff_hz, double fs_hz, std::size_t taps, WindowType window) {
+rvec design_highpass(double cutoff_hz, double fs_hz, std::size_t taps,
+                     WindowType window) {
   rvec h = design_lowpass(cutoff_hz, fs_hz, taps, window);
   // Spectral inversion: delta at center minus low-pass.
   for (auto& c : h) c = -c;

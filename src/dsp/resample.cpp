@@ -29,7 +29,8 @@ Vec resample_impl(const Vec& x, double fs_in, double fs_out) {
   const auto n_out = static_cast<std::size_t>(
       std::floor(static_cast<double>(x.size() - 1) / ratio)) + 1;
   Vec out(n_out);
-  for (std::size_t i = 0; i < n_out; ++i) out[i] = sample_at(x, static_cast<double>(i) * ratio);
+  for (std::size_t i = 0; i < n_out; ++i)
+    out[i] = sample_at(x, static_cast<double>(i) * ratio);
   return out;
 }
 }  // namespace

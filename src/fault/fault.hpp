@@ -41,7 +41,7 @@ struct GilbertElliottConfig {
 
 /// Scheduled impairments for one run. Default-constructed = no faults.
 struct FaultPlan {
-  std::uint64_t seed = 0xFA171ULL;  ///< injector stream seed (decoupled from the run seed)
+  std::uint64_t seed = 0xFA171ULL;  ///< injector stream seed (decoupled from run seed)
 
   GilbertElliottConfig burst{};     ///< uplink reply-loss bursts
 

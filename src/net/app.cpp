@@ -12,7 +12,8 @@ std::uint16_t clamp_u16(double v) {
 }  // namespace
 
 bytes encode_reading(const SensorReading& r) {
-  const std::uint16_t t = clamp_u16(std::round((r.temperature_c + 40.0) / kTempResolutionC));
+  const std::uint16_t t =
+      clamp_u16(std::round((r.temperature_c + 40.0) / kTempResolutionC));
   const std::uint16_t p = clamp_u16(std::round(r.pressure_kpa / kPressureResolutionKpa));
   bytes out(kReadingBytes);
   out[0] = static_cast<std::uint8_t>(t >> 8);

@@ -57,7 +57,8 @@ struct DiscoveryResult {
   double slots_per_node() const {
     return discovered.empty()
                ? 0.0
-               : static_cast<double>(total_slots) / static_cast<double>(discovered.size());
+               : static_cast<double>(total_slots) /
+                 static_cast<double>(discovered.size());
   }
 };
 

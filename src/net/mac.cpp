@@ -32,7 +32,8 @@ double MacTiming::slot_duration_s() const {
 
 NodeMac::NodeMac(std::uint8_t address, MacTiming timing)
     : addr_(address), timing_(timing), slot_(address) {
-  if (address == kBroadcastAddr) throw std::invalid_argument("broadcast is not a node address");
+  if (address == kBroadcastAddr)
+    throw std::invalid_argument("broadcast is not a node address");
 }
 
 std::optional<NodeMac::Response> NodeMac::on_downlink(const Frame& dl,

@@ -62,7 +62,8 @@ class NodeMac {
   /// Handles a downlink frame; returns the uplink response, if any. A
   /// repeated query without an intervening ACK retransmits the same seq
   /// (stop-and-wait: the reader dedupes duplicates on it).
-  std::optional<Response> on_downlink(const Frame& downlink, const SensorReading& reading);
+  std::optional<Response> on_downlink(const Frame& downlink,
+                                      const SensorReading& reading);
 
   std::uint8_t address() const { return addr_; }
   std::uint8_t tdma_slot() const { return slot_; }

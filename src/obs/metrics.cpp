@@ -76,7 +76,8 @@ struct Registry::Impl {
     if (it != by_name.end()) {
       MetricDef& d = *defs[it->second];
       if (d.kind != kind)
-        throw std::invalid_argument("metric '" + name + "' re-registered as a different kind");
+        throw std::invalid_argument("metric '" + name +
+                                    "' re-registered as a different kind");
       return d;
     }
     auto def = std::make_unique<MetricDef>();
@@ -141,7 +142,8 @@ Gauge Registry::gauge(const std::string& name) {
   return Gauge(&impl_->intern(name, Kind::kGauge, 0, {}).gauge);
 }
 
-Histogram Registry::histogram(const std::string& name, std::vector<std::uint64_t> bounds) {
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<std::uint64_t> bounds) {
   if (!std::is_sorted(bounds.begin(), bounds.end()))
     throw std::invalid_argument("histogram bounds must be ascending");
   // buckets (bounds + overflow) followed by the value-sum cell.

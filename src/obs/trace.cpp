@@ -68,7 +68,8 @@ Ring& local_ring() {
   if (!t.ring) {
     t.ring = std::make_shared<Ring>();
     t.ring->tid = t.tid;
-    if (t.pending_name) t.ring->thread_name.store(t.pending_name, std::memory_order_relaxed);
+    if (t.pending_name)
+      t.ring->thread_name.store(t.pending_name, std::memory_order_relaxed);
     TraceState& s = state();
     std::lock_guard<std::mutex> lk(s.mu);
     s.rings.push_back(t.ring);

@@ -102,7 +102,8 @@ bitvec hamming74_decode(const bitvec& bits, std::size_t& corrected) {
 }
 
 bitvec interleave(const bitvec& bits, std::size_t rows, std::size_t cols) {
-  if (bits.size() != rows * cols) throw std::invalid_argument("interleaver size mismatch");
+  if (bits.size() != rows * cols)
+    throw std::invalid_argument("interleaver size mismatch");
   bitvec out(bits.size());
   std::size_t idx = 0;
   for (std::size_t c = 0; c < cols; ++c)
@@ -111,7 +112,8 @@ bitvec interleave(const bitvec& bits, std::size_t rows, std::size_t cols) {
 }
 
 bitvec deinterleave(const bitvec& bits, std::size_t rows, std::size_t cols) {
-  if (bits.size() != rows * cols) throw std::invalid_argument("interleaver size mismatch");
+  if (bits.size() != rows * cols)
+    throw std::invalid_argument("interleaver size mismatch");
   bitvec out(bits.size());
   std::size_t idx = 0;
   for (std::size_t c = 0; c < cols; ++c)

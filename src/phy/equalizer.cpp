@@ -26,7 +26,8 @@ ChannelEstimate estimate_channel_ls(const cvec& observed, const rvec& known,
   for (int c = c_lo; c <= c_end; ++c) {
     const auto r = static_cast<std::size_t>(c - c_lo);
     for (int k = 0; k < n; ++k)
-      a.at(r, static_cast<std::size_t>(k)) = cplx{known[static_cast<std::size_t>(c - k + precursors)], 0.0};
+      a.at(r, static_cast<std::size_t>(k)) =
+          cplx{known[static_cast<std::size_t>(c - k + precursors)], 0.0};
     a.at(r, n_taps) = cplx{1.0, 0.0};
     b[r] = observed[static_cast<std::size_t>(c)];
   }

@@ -25,7 +25,8 @@ bitvec miller_encode(const bitvec& bits, unsigned m) {
     for (std::size_t k = 0; k < cpb; ++k) {
       // Data-1 inverts the baseband mid-bit.
       const std::uint8_t baseband =
-          ((bits[b] & 1u) && k >= cpb / 2) ? static_cast<std::uint8_t>(level ^ 1u) : level;
+          ((bits[b] & 1u) && k >= cpb / 2) ? static_cast<std::uint8_t>(level ^ 1u)
+                                           : level;
       const std::uint8_t subcarrier = static_cast<std::uint8_t>(k & 1u);
       chips.push_back(baseband ^ subcarrier);
     }

@@ -80,7 +80,8 @@ void BackscatterModulator::switch_waveform(const bitvec& payload_bits,
   chips.insert(chips.end(), kIdleChips, 0);
 
   const double spc = cfg_.fs_hz / cfg_.chip_rate_hz();
-  const auto n = static_cast<std::size_t>(std::ceil(static_cast<double>(chips.size()) * spc));
+  const auto n =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(chips.size()) * spc));
   wave.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const auto c = static_cast<std::size_t>(static_cast<double>(i) / spc);

@@ -19,7 +19,8 @@ EnergyHarvester::EnergyHarvester(HarvesterConfig cfg, const BvdModel& transducer
   if (cfg_.aperture_m2 <= 0.0) throw std::invalid_argument("aperture must be > 0");
 }
 
-double EnergyHarvester::available_electrical_power_w(double pressure_pa, double f_hz) const {
+double EnergyHarvester::available_electrical_power_w(double pressure_pa,
+                                                     double f_hz) const {
   if (pressure_pa < 0.0) throw std::invalid_argument("pressure must be >= 0");
   // Plane-wave intensity I = p_rms^2 / (rho c).
   const double intensity = pressure_pa * pressure_pa / common::kWaterAcousticImpedance;

@@ -35,7 +35,8 @@ double LSection::series_inductance() const {
   return x_series_ohms > 0.0 ? x_series_ohms / (common::kTwoPi * f_design_hz) : 0.0;
 }
 double LSection::series_capacitance() const {
-  return x_series_ohms < 0.0 ? 1.0 / (common::kTwoPi * f_design_hz * -x_series_ohms) : 0.0;
+  return x_series_ohms < 0.0 ? 1.0 / (common::kTwoPi * f_design_hz * -x_series_ohms)
+                             : 0.0;
 }
 double LSection::shunt_inductance() const {
   return b_shunt_siemens < 0.0 ? 1.0 / (common::kTwoPi * f_design_hz * -b_shunt_siemens)
@@ -46,8 +47,10 @@ double LSection::shunt_capacitance() const {
 }
 
 TwoPort LSection::network_at(double f_hz) const {
-  const TwoPort ser = series_element(element_impedance_at(x_series_ohms, f_design_hz, f_hz));
-  const TwoPort shn = shunt_element(shunt_admittance_at(b_shunt_siemens, f_design_hz, f_hz));
+  const TwoPort ser =
+      series_element(element_impedance_at(x_series_ohms, f_design_hz, f_hz));
+  const TwoPort shn =
+      shunt_element(shunt_admittance_at(b_shunt_siemens, f_design_hz, f_hz));
   // Port 1 faces the source, port 2 faces the load (transducer).
   return shunt_first ? ser.then(shn) : shn.then(ser);
 }

@@ -38,7 +38,8 @@ TwoPort transmission_line(double theta_rad, double z0, double loss_db) {
 cplx impedance_inductor(double l, double w) { return cplx{0.0, w * l}; }
 
 cplx impedance_capacitor(double c, double w) {
-  if (c <= 0.0 || w <= 0.0) throw std::invalid_argument("capacitance/frequency must be > 0");
+  if (c <= 0.0 || w <= 0.0)
+    throw std::invalid_argument("capacitance/frequency must be > 0");
   return cplx{0.0, -1.0 / (w * c)};
 }
 

@@ -9,7 +9,8 @@ namespace vab::vanatta {
 
 VanAttaArray::VanAttaArray(VanAttaConfig cfg) : cfg_(cfg) {
   if (cfg_.n_elements == 0) throw std::invalid_argument("array needs >= 1 element");
-  if (cfg_.f_design_hz <= 0.0) throw std::invalid_argument("design frequency must be > 0");
+  if (cfg_.f_design_hz <= 0.0)
+    throw std::invalid_argument("design frequency must be > 0");
   if (cfg_.element_efficiency <= 0.0 || cfg_.element_efficiency > 1.0)
     throw std::invalid_argument("element efficiency must be in (0, 1]");
   if (cfg_.mode == ArrayMode::kSingleElement) cfg_.n_elements = 1;
@@ -19,7 +20,8 @@ VanAttaArray::VanAttaArray(VanAttaConfig cfg) : cfg_(cfg) {
   const std::size_t n = cfg_.n_elements;
   pos_.resize(n);
   for (std::size_t i = 0; i < n; ++i)
-    pos_[i] = (static_cast<double>(i) - static_cast<double>(n - 1) / 2.0) * cfg_.spacing_m;
+    pos_[i] =
+        (static_cast<double>(i) - static_cast<double>(n - 1) / 2.0) * cfg_.spacing_m;
   phase_err_.assign(n, 0.0);
   gain_err_.assign(n, 1.0);
 }
@@ -84,7 +86,8 @@ cplx VanAttaArray::bistatic_response(double theta_in, double theta_out, double f
   cplx acc{};
   for (std::size_t i = 0; i < cfg_.n_elements; ++i) {
     const std::size_t p = partner(i);
-    const double phase = -k * (pos_[i] * si + pos_[p] * so) + phase_err_[i] + phase_err_[p];
+    const double phase =
+        -k * (pos_[i] * si + pos_[p] * so) + phase_err_[i] + phase_err_[p];
     acc += gain_err_[i] * gain_err_[p] * std::exp(cplx{0.0, phase});
   }
   return acc * pat * through_gain() * mod * line_rot;

@@ -10,7 +10,8 @@ namespace vab::vanatta {
 PlanarVanAttaArray::PlanarVanAttaArray(PlanarVanAttaConfig cfg) : cfg_(cfg) {
   if (cfg_.rows == 0 || cfg_.cols == 0)
     throw std::invalid_argument("planar array needs rows, cols >= 1");
-  if (cfg_.f_design_hz <= 0.0) throw std::invalid_argument("design frequency must be > 0");
+  if (cfg_.f_design_hz <= 0.0)
+    throw std::invalid_argument("design frequency must be > 0");
   if (cfg_.element_efficiency <= 0.0 || cfg_.element_efficiency > 1.0)
     throw std::invalid_argument("element efficiency must be in (0, 1]");
   if (cfg_.spacing_m <= 0.0)

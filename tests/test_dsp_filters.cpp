@@ -134,7 +134,8 @@ TEST(Biquad, CascadeAndReset) {
   // Frequency response of cascade at 8 kHz from the impulse response.
   cplx acc{};
   for (std::size_t n = 0; n < h.size(); ++n)
-    acc += h[n] * std::exp(cplx{0.0, -common::kTwoPi * 8000.0 * static_cast<double>(n) / fs});
+    acc += h[n] *
+           std::exp(cplx{0.0, -common::kTwoPi * 8000.0 * static_cast<double>(n) / fs});
   EXPECT_NEAR(std::abs(acc), single * single, 0.01);
 }
 
@@ -187,7 +188,8 @@ TEST(Nco, PhaseContinuityAcrossChunks) {
   for (auto& v : whole) v = a.next_cos();
   Nco b(18500.0, 96000.0);
   for (int i = 0; i < 50; ++i) b.next_cos();
-  for (int i = 50; i < 100; ++i) EXPECT_NEAR(b.next_cos(), whole[static_cast<std::size_t>(i)], 1e-12);
+  for (int i = 50; i < 100; ++i)
+    EXPECT_NEAR(b.next_cos(), whole[static_cast<std::size_t>(i)], 1e-12);
 }
 
 TEST(Mixer, UpDownRoundTripRecoversBaseband) {

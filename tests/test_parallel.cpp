@@ -92,7 +92,8 @@ TEST_F(ParallelTest, VabThreadsEnvForcesSerial) {
   EXPECT_EQ(thread_count(), 1u);
   const auto caller = std::this_thread::get_id();
   std::vector<std::thread::id> ids(64);
-  parallel_for(0, ids.size(), [&](std::size_t i) { ids[i] = std::this_thread::get_id(); });
+  parallel_for(0, ids.size(),
+               [&](std::size_t i) { ids[i] = std::this_thread::get_id(); });
   for (const auto& id : ids) EXPECT_EQ(id, caller);
 }
 

@@ -107,7 +107,8 @@ TEST_F(DeterminismTest, WaveformBatchMatchesPerJobRuns) {
   std::vector<sim::WaveformStats> reference;
   for (auto& j : jobs) {
     common::Rng rng = j.rng;
-    reference.push_back(sim::run_waveform_trials(j.scenario, j.trials, j.payload_bits, rng));
+    reference.push_back(
+        sim::run_waveform_trials(j.scenario, j.trials, j.payload_bits, rng));
   }
   for (unsigned t : kThreadCounts) {
     common::set_thread_count(t);

@@ -38,7 +38,8 @@ TEST(Crc16, DetectsCorruption) {
     ASSERT_TRUE(check_and_strip_crc(wire, out));
     EXPECT_EQ(out, msg);
     // Flip one random bit anywhere in the frame.
-    const auto byte = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long>(wire.size()) - 1));
+    const auto byte = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<long>(wire.size()) - 1));
     wire[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
     EXPECT_FALSE(check_and_strip_crc(wire, out)) << "trial " << trial;
   }

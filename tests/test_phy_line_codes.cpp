@@ -135,7 +135,8 @@ TEST(Sic, RemovesConstantCarrier) {
   cvec x(4000, cplx{100.0, 50.0});
   const cvec y = sic.process(x);
   double residual = 0.0;
-  for (std::size_t i = 1000; i < y.size(); ++i) residual = std::max(residual, std::abs(y[i]));
+  for (std::size_t i = 1000; i < y.size(); ++i)
+    residual = std::max(residual, std::abs(y[i]));
   EXPECT_LT(residual, 1e-6);
   EXPECT_GT(sic.last_suppression_db(), 60.0);
 }
@@ -167,7 +168,8 @@ TEST(Sic, TracksSlowDrift) {
   }
   const cvec y = sic.process(x);
   double residual = 0.0;
-  for (std::size_t i = 8000; i < y.size(); ++i) residual = std::max(residual, std::abs(y[i]));
+  for (std::size_t i = 8000; i < y.size(); ++i)
+    residual = std::max(residual, std::abs(y[i]));
   EXPECT_LT(residual, 0.2);  // drift absorbed by the tracker
 }
 

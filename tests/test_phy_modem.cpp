@@ -58,7 +58,8 @@ TEST(Modulator, WaveformLengthMatchesChipCount) {
   const std::size_t chips = 2 * phy::BackscatterModulator::kIdleChips +
                             phy::BackscatterModulator::kSettleChips +
                             phy::fm0_preamble_chips().size() + 2 * payload.size();
-  EXPECT_NEAR(static_cast<double>(wave.size()), static_cast<double>(chips) * spc, spc + 1);
+  EXPECT_NEAR(static_cast<double>(wave.size()), static_cast<double>(chips) * spc,
+              spc + 1);
 }
 
 TEST(Modulator, IdlePaddingIsAbsorptive) {
@@ -81,9 +82,9 @@ TEST(Modulator, ActiveMaskCoversPreambleAndData) {
   std::size_t active = 0;
   for (auto m : mask) active += m;
   const double spc = cfg.fs_hz / cfg.chip_rate_hz();
-  const double expect_chips = static_cast<double>(phy::BackscatterModulator::kSettleChips +
-                                                  phy::fm0_preamble_chips().size() +
-                                                  2 * n_bits);
+  const double expect_chips =
+      static_cast<double>(phy::BackscatterModulator::kSettleChips +
+                          phy::fm0_preamble_chips().size() + 2 * n_bits);
   EXPECT_NEAR(static_cast<double>(active), expect_chips * spc, 2 * spc);
 }
 

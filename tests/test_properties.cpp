@@ -102,8 +102,10 @@ TEST_P(CodecFuzz, CrcCatchesRandomTwoBitCorruption) {
   // Any two distinct bit flips: CRC-16 detects all double-bit errors within
   // its guarantee length.
   const auto total_bits = wire.size() * 8;
-  const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long>(total_bits) - 1));
-  auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<long>(total_bits) - 1));
+  const auto i = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<long>(total_bits) - 1));
+  auto j = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<long>(total_bits) - 1));
   if (j == i) j = (j + 1) % total_bits;
   wire[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
   wire[j / 8] ^= static_cast<std::uint8_t>(1u << (j % 8));
