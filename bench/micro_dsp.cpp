@@ -10,6 +10,9 @@
 #include "dsp/mixer.hpp"
 #include "dsp/workspace.hpp"
 #include "phy/modem.hpp"
+#include "sim/fleet/event_queue.hpp"
+#include "sim/fleet/fleet.hpp"
+#include "sim/fleet/medium.hpp"
 #include "sim/scenario.hpp"
 #include "sim/waveform_sim.hpp"
 
@@ -170,6 +173,60 @@ void BM_FullDemodulate(benchmark::State& state) {
                           static_cast<std::int64_t>(x.size()));
 }
 BENCHMARK(BM_FullDemodulate);
+
+// Fleet-core kernels: the event queue, the spatial partition, and one
+// budget-fidelity fleet run — the hot path of the node-count scaling sweep.
+void BM_FleetEventQueue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(13);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1000.0);
+  for (auto _ : state) {
+    sim::fleet::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i)
+      q.push(sim::fleet::Event{times[i], static_cast<std::uint32_t>(i), 0, 0});
+    std::uint64_t acc = 0;
+    while (auto ev = q.pop()) acc += ev->entity;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FleetEventQueue)->Arg(4096)->Arg(65536);
+
+void BM_FleetGridQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(14);
+  std::vector<sim::fleet::Position> pts(n);
+  for (auto& p : pts) p = {rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)};
+  const sim::fleet::SpatialGrid grid(pts, 50.0);
+  std::vector<std::uint32_t> out;
+  std::size_t probe = 0;
+  for (auto _ : state) {
+    grid.query(pts[probe % n], 250.0, out);
+    benchmark::DoNotOptimize(out.data());
+    ++probe;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FleetGridQuery)->Arg(10000)->Arg(100000);
+
+void BM_FleetBudgetRun(benchmark::State& state) {
+  sim::fleet::FleetConfig fc;
+  fc.scenario = sim::vab_river_scenario();
+  fc.n_nodes = static_cast<std::size_t>(state.range(0));
+  fc.n_readers = 4;
+  fc.area_m = 800.0;
+  fc.fidelity.mode = sim::fleet::FidelityMode::kBudgetOnly;
+  const common::Rng rng(15);
+  for (auto _ : state) {
+    auto res = sim::fleet::run_fleet(fc, rng);
+    benchmark::DoNotOptimize(&res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FleetBudgetRun)->Arg(1000);
 
 }  // namespace
 

@@ -10,51 +10,52 @@ namespace vab::net {
 
 namespace {
 
-// One poll of one node: everything that can go wrong on the way down, up,
-// and back down with the ACK.
-enum class PollOutcome : std::uint8_t { kDelivered, kDuplicate, kMiss };
-
-struct PollContext {
-  const InventoryConfig& cfg;
-  fault::FaultInjector* fault;
-  common::Rng& rng;
-  ReaderMac& reader;
-  InventoryResult& res;
-};
-
 double downlink_duration_s(const MacTiming& t, const Frame& f) {
   return static_cast<double>(f.wire_size() * 8) / t.downlink_bitrate_bps;
 }
 
-PollOutcome poll_once(PollContext& ctx, NodeMac& node, const SensorReading& reading) {
-  const MacTiming& t = ctx.cfg.timing;
-  const Frame query = ctx.reader.make_query(node.address());
-  ++ctx.res.polls;
-  ctx.res.duration_s += downlink_duration_s(t, query);
+}  // namespace
+
+PollOutcome poll_exchange(ReaderMac& reader, NodeMac& node,
+                          const SensorReading& reading, const InventoryConfig& cfg,
+                          LinkTransport& transport, fault::FaultInjector* fault,
+                          common::Rng& rng, InventoryResult& res) {
+  const MacTiming& t = cfg.timing;
+  const Frame query = reader.make_query(node.address());
+  ++res.polls;
+  res.duration_s += downlink_duration_s(t, query);
 
   // Downlink: a duty-cycled node can sleep through the query, a dropped-out
-  // node is dark for the whole exchange.
-  if (ctx.fault && (ctx.fault->dropped_out() || ctx.fault->wake_missed())) {
-    ctx.res.duration_s += t.reply_timeout_s();
+  // node is dark for the whole exchange, and the transport may eat the
+  // query outright (the default transport never does).
+  if (fault && (fault->dropped_out() || fault->wake_missed())) {
+    res.duration_s += t.reply_timeout_s();
+    return PollOutcome::kMiss;
+  }
+  if (!transport.downlink_delivered(node.address(), rng)) {
+    res.duration_s += t.reply_timeout_s();
     return PollOutcome::kMiss;
   }
 
   auto response = node.on_downlink(query, reading);
   if (!response) {
-    ctx.res.duration_s += t.reply_timeout_s();
+    res.duration_s += t.reply_timeout_s();
     return PollOutcome::kMiss;
   }
-  ctx.res.duration_s += t.guard_s + t.slot_duration_s();
+  res.duration_s += t.guard_s + t.slot_duration_s();
 
-  // Uplink: clean-channel i.i.d. loss, burst loss, frame corruption, and
-  // clock skew pushing the reply out of the reader's slot window.
-  if (ctx.rng.coin(ctx.cfg.reply_loss_prob)) return PollOutcome::kMiss;
-  if (ctx.fault && ctx.fault->reply_lost()) return PollOutcome::kMiss;
+  // Uplink: the transport decides survival (clean-channel i.i.d. loss by
+  // default, SNR-derived frame loss or a waveform decode in the fleet),
+  // then burst loss, frame corruption, and clock skew pushing the reply
+  // out of the reader's slot window.
   bytes wire = serialize(response->frame);
-  if (ctx.fault) {
-    if (ctx.fault->corrupt_frame(wire) == fault::FrameFate::kDropped)
+  if (!transport.uplink_delivered(node.address(), wire, rng))
+    return PollOutcome::kMiss;
+  if (fault && fault->reply_lost()) return PollOutcome::kMiss;
+  if (fault) {
+    if (fault->corrupt_frame(wire) == fault::FrameFate::kDropped)
       return PollOutcome::kMiss;
-    const double skew = ctx.fault->clock_skew_s(t.slot_duration_s());
+    const double skew = fault->clock_skew_s(t.slot_duration_s());
     if (std::abs(skew) > t.reply_timeout_s() - t.slot_duration_s())
       return PollOutcome::kMiss;
   }
@@ -62,17 +63,17 @@ PollOutcome poll_once(PollContext& ctx, NodeMac& node, const SensorReading& read
   if (!parsed.frame || parsed.frame->type != FrameType::kSensorReport)
     return PollOutcome::kMiss;
 
-  const ReaderMac::UplinkEvent ev = ctx.reader.on_report(*parsed.frame);
+  const ReaderMac::UplinkEvent ev = reader.on_report(*parsed.frame);
 
   // ACK downlink (both for fresh and duplicate reports); a lost ACK leaves
   // the node awaiting and the next poll returns a deduped duplicate.
-  const Frame ack = ctx.reader.make_ack(parsed.frame->addr, parsed.frame->seq);
-  ++ctx.res.acks_sent;
-  ctx.res.duration_s += downlink_duration_s(t, ack);
-  const bool ack_lost = ctx.rng.coin(ctx.cfg.ack_loss_prob) ||
-                        (ctx.fault && ctx.fault->wake_missed());
+  const Frame ack = reader.make_ack(parsed.frame->addr, parsed.frame->seq);
+  ++res.acks_sent;
+  res.duration_s += downlink_duration_s(t, ack);
+  const bool ack_lost = !transport.ack_delivered(node.address(), rng) ||
+                        (fault && fault->wake_missed());
   if (ack_lost) {
-    ++ctx.res.acks_lost;
+    ++res.acks_lost;
   } else {
     node.on_downlink(ack, reading);
   }
@@ -80,11 +81,10 @@ PollOutcome poll_once(PollContext& ctx, NodeMac& node, const SensorReading& read
                                                   : PollOutcome::kDelivered;
 }
 
-}  // namespace
-
 InventoryResult run_inventory(const std::vector<std::uint8_t>& population,
                               const InventoryConfig& cfg,
-                              fault::FaultInjector* fault, common::Rng& rng) {
+                              fault::FaultInjector* fault, common::Rng& rng,
+                              LinkTransport* transport) {
   if (population.empty()) throw std::invalid_argument("empty population");
   VAB_STAGE("net.inventory");
 
@@ -98,7 +98,8 @@ InventoryResult run_inventory(const std::vector<std::uint8_t>& population,
   std::vector<std::size_t> pending(population.size());
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
 
-  PollContext ctx{cfg, fault, rng, reader, res};
+  IidLossTransport default_transport(cfg.reply_loss_prob, cfg.ack_loss_prob);
+  LinkTransport& medium = transport ? *transport : default_transport;
   const double slot_s = cfg.timing.slot_duration_s();
 
   while (!pending.empty() && res.polls < cfg.max_polls) {
@@ -117,7 +118,8 @@ InventoryResult run_inventory(const std::vector<std::uint8_t>& population,
       // cfg.arq.max_retries re-polls with exponential backoff.
       for (std::size_t attempt = 0; attempt <= cfg.arq.max_retries; ++attempt) {
         if (res.polls >= cfg.max_polls) break;
-        const PollOutcome out = poll_once(ctx, node, reading);
+        const PollOutcome out =
+            poll_exchange(reader, node, reading, cfg, medium, fault, rng, res);
         if (out == PollOutcome::kDelivered || out == PollOutcome::kDuplicate) {
           // A duplicate means the previous report *was* received: the node
           // is inventoried either way once the ACK finally lands.

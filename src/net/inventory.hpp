@@ -10,6 +10,11 @@
 // demoted to re-discovery (costed as extra airtime) instead of stalling the
 // whole inventory. Deterministic: one Rng for the clean channel, one
 // injector stream for the faults, no wall-clock anywhere.
+//
+// The medium is pluggable: every leg of the exchange crosses a
+// net::LinkTransport, so the same ARQ engine runs over the i.i.d. loss
+// floor (the default), a link-budget abstraction, or the waveform pipeline
+// (see src/sim/fleet).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +23,7 @@
 #include "common/rng.hpp"
 #include "fault/fault.hpp"
 #include "net/mac.hpp"
+#include "net/transport.hpp"
 
 namespace vab::net {
 
@@ -56,11 +62,30 @@ struct InventoryResult {
   }
 };
 
+/// Outcome of one query -> report -> ACK exchange with one node.
+enum class PollOutcome : std::uint8_t {
+  kDelivered,  ///< fresh report accepted and counted
+  kDuplicate,  ///< retransmission deduped by seq (node is inventoried)
+  kMiss,       ///< no decodable reply inside the slot window
+};
+
+/// Runs one poll exchange between `reader` and `node` over `transport`,
+/// accumulating protocol counters (polls, ACK accounting) and airtime into
+/// `res`. This is the unit step both `run_inventory` and the fleet
+/// simulator's event loop drive; `fault` may be null.
+PollOutcome poll_exchange(ReaderMac& reader, NodeMac& node,
+                          const SensorReading& reading, const InventoryConfig& cfg,
+                          LinkTransport& transport, fault::FaultInjector* fault,
+                          common::Rng& rng, InventoryResult& res);
+
 /// Runs the ARQ inventory over `population` (node addresses). `fault` may
 /// be null; with a null hook (or an empty plan) and zero loss probabilities
-/// the inventory completes in exactly one poll per node.
+/// the inventory completes in exactly one poll per node. When `transport`
+/// is null the clean channel is the historical i.i.d. loss model built
+/// from cfg.{reply_loss_prob, ack_loss_prob}.
 InventoryResult run_inventory(const std::vector<std::uint8_t>& population,
                               const InventoryConfig& cfg,
-                              fault::FaultInjector* fault, common::Rng& rng);
+                              fault::FaultInjector* fault, common::Rng& rng,
+                              LinkTransport* transport = nullptr);
 
 }  // namespace vab::net

@@ -1,0 +1,61 @@
+// The MAC <-> medium seam: how a frame crosses the water.
+//
+// ReaderMac/NodeMac speak frames; whether a frame survives the trip is the
+// medium's business. LinkTransport abstracts that decision so the same MAC
+// state machines run over any channel model — the historical i.i.d. loss
+// coins (IidLossTransport, the clean-channel floor of `run_inventory`), a
+// link-budget SNR -> BER -> frame-loss draw, or the full waveform pipeline.
+// The fleet simulator (src/sim/fleet) plugs both abstracted and waveform
+// fidelities in through this interface and switches between them per link.
+//
+// Determinism contract: a transport draws only from the `rng` handed to each
+// call (or from streams it derived from its own construction seed), never
+// from hidden state, so a fixed call sequence yields fixed outcomes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vab::net {
+
+/// Decides the fate of each leg of one reader<->node exchange.
+class LinkTransport {
+ public:
+  virtual ~LinkTransport() = default;
+
+  /// True when the query downlink reaches node `addr`. The reader-side PIE
+  /// downlink rides the full-power carrier, so most models return true
+  /// without drawing.
+  virtual bool downlink_delivered(std::uint8_t addr, common::Rng& rng) = 0;
+
+  /// True when the node's report survives the uplink. A transport may
+  /// corrupt `wire` in place instead of dropping it (bit errors from a
+  /// waveform decode); the reader's CRC then classifies the damage.
+  virtual bool uplink_delivered(std::uint8_t addr, bytes& wire, common::Rng& rng) = 0;
+
+  /// True when the reader's ACK downlink reaches the node.
+  virtual bool ack_delivered(std::uint8_t addr, common::Rng& rng) = 0;
+};
+
+/// The historical clean-channel model: independent loss coins per leg, with
+/// the downlink assumed reliable. `run_inventory` builds one of these from
+/// InventoryConfig::{reply_loss_prob, ack_loss_prob} when no transport is
+/// supplied; draw order matches the pre-seam inline code exactly, so every
+/// seeded inventory outcome is unchanged.
+class IidLossTransport final : public LinkTransport {
+ public:
+  IidLossTransport(double reply_loss_prob, double ack_loss_prob)
+      : reply_loss_prob_(reply_loss_prob), ack_loss_prob_(ack_loss_prob) {}
+
+  bool downlink_delivered(std::uint8_t addr, common::Rng& rng) override;
+  bool uplink_delivered(std::uint8_t addr, bytes& wire, common::Rng& rng) override;
+  bool ack_delivered(std::uint8_t addr, common::Rng& rng) override;
+
+ private:
+  double reply_loss_prob_;
+  double ack_loss_prob_;
+};
+
+}  // namespace vab::net

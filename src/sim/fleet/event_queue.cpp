@@ -1,0 +1,57 @@
+#include "sim/fleet/event_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace vab::sim::fleet {
+
+void VirtualClock::advance_to(double t) {
+  if (!std::isfinite(t)) throw std::invalid_argument("non-finite virtual time");
+  if (t < now_s_) throw std::logic_error("virtual clock cannot run backwards");
+  now_s_ = t;
+}
+
+void EventQueue::push(const Event& ev) {
+  if (!std::isfinite(ev.time_s))
+    throw std::invalid_argument("non-finite event time");
+  if (ev.time_s < clock_.now_s())
+    throw std::logic_error("event scheduled before the virtual clock");
+  heap_.push_back(Entry{ev, next_seq_++});
+  sift_up(heap_.size() - 1);
+}
+
+std::optional<Event> EventQueue::pop() {
+  if (heap_.empty()) return std::nullopt;
+  Entry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  clock_.advance_to(top.ev.time_s);
+  return top.ev;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t best = i;
+    if (left < n && before(heap_[left], heap_[best])) best = left;
+    if (right < n && before(heap_[right], heap_[best])) best = right;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+}  // namespace vab::sim::fleet

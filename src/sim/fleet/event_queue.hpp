@@ -1,0 +1,83 @@
+// Deterministic discrete-event core: a virtual clock plus an event queue
+// with stable tie-breaking.
+//
+// Determinism contract:
+//  - pop order is a pure function of the push sequence: events order by
+//    (time, push sequence number), so two events stamped the same virtual
+//    time pop in FIFO order — never in heap, pointer, or allocation order.
+//  - the virtual clock only moves forward: popping advances `now()` to the
+//    event's time, and pushing an event earlier than `now()` (or with a
+//    non-finite time) throws instead of silently reordering causality.
+//
+// The queue is single-threaded by design. Fleet-scale parallelism lives
+// *outside* the event loop (independent seeded runs fanned over
+// common::parallel_for), which is how thread-count invariance stays trivial.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vab::sim::fleet {
+
+/// One scheduled occurrence. `entity` names the owner (e.g. a reader id),
+/// `kind`/`payload` are caller-defined; the queue never interprets them.
+struct Event {
+  double time_s = 0.0;
+  std::uint32_t entity = 0;
+  std::uint32_t kind = 0;
+  std::uint64_t payload = 0;
+};
+
+/// Forward-only simulated time. Advancing backwards throws: an event
+/// executing "before now" means the schedule lost causality, and the
+/// simulator must fail loudly rather than produce ordering-dependent output.
+class VirtualClock {
+ public:
+  double now_s() const { return now_s_; }
+
+  /// Moves the clock to `t` (>= now, finite; throws otherwise).
+  void advance_to(double t);
+
+ private:
+  double now_s_ = 0.0;
+};
+
+/// Min-heap on (time_s, push sequence): earliest first, FIFO among equal
+/// timestamps. Pops advance the embedded virtual clock.
+class EventQueue {
+ public:
+  /// Schedules `ev`; throws std::invalid_argument on a non-finite time and
+  /// std::logic_error on a time earlier than the clock.
+  void push(const Event& ev);
+
+  /// Earliest event (FIFO among ties), advancing the clock to its time;
+  /// std::nullopt when empty.
+  std::optional<Event> pop();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  /// Total events ever pushed (also the next tie-break sequence number).
+  std::uint64_t pushed() const { return next_seq_; }
+  double now_s() const { return clock_.now_s(); }
+
+ private:
+  struct Entry {
+    Event ev;
+    std::uint64_t seq = 0;
+  };
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.ev.time_s != b.ev.time_s) return a.ev.time_s < b.ev.time_s;
+    return a.seq < b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+  VirtualClock clock_;
+};
+
+}  // namespace vab::sim::fleet

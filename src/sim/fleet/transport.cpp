@@ -1,0 +1,165 @@
+#include "sim/fleet/transport.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "phy/ber.hpp"
+#include "phy/fec.hpp"
+
+namespace vab::sim::fleet {
+namespace {
+
+// Wire bytes <-> air bits, MSB first (matches net::serialize_bits).
+void bytes_to_bits(const bytes& in, bitvec& out) {
+  out.clear();
+  out.reserve(in.size() * 8);
+  for (const std::uint8_t byte : in)
+    for (int b = 7; b >= 0; --b)
+      out.push_back(static_cast<std::uint8_t>((byte >> b) & 1U));
+}
+
+void bits_to_bytes(const bitvec& in, bytes& out) {
+  out.assign(in.size() / 8, 0);
+  for (std::size_t i = 0; i < out.size() * 8; ++i)
+    out[i / 8] = static_cast<std::uint8_t>(
+        (out[i / 8] << 1U) | (in[i] & 1U));
+}
+
+}  // namespace
+
+FleetLinkTransport::FleetLinkTransport(const Scenario& base,
+                                       const FidelityPolicy& policy,
+                                       double contention_penalty_db,
+                                       std::size_t report_bits)
+    : base_(base),
+      policy_(policy),
+      contention_penalty_db_(contention_penalty_db),
+      budget_(base) {
+  // Waterfall SNR: where frame delivery crosses 50% for the representative
+  // wire length. frame_delivery_prob is monotone in SNR, so bisect.
+  double lo = -30.0, hi = 30.0;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (frame_delivery_prob(mid, report_bits) < 0.5) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  waterfall_snr_db_ = 0.5 * (lo + hi);
+}
+
+double FleetLinkTransport::frame_delivery_prob(double snr_db, std::size_t bits) {
+  const double ber = phy::ber_fm0(std::pow(10.0, snr_db / 10.0));
+  return std::pow(1.0 - ber, static_cast<double>(bits));
+}
+
+void FleetLinkTransport::begin_window(std::vector<LinkInfo> links,
+                                      common::Rng wave_stream) {
+  links_ = std::move(links);
+  for (LinkInfo& l : links_) l.snr_db = budget_.evaluate(l.range_m).snr_chip_db;
+  wave_ = std::vector<std::unique_ptr<WaveLink>>(links_.size());
+  wave_stream_ = wave_stream;
+  contention_ = 0;
+}
+
+FleetLinkTransport::WaveLink& FleetLinkTransport::wave_link(std::uint8_t addr) {
+  std::unique_ptr<WaveLink>& slot = wave_[addr];
+  if (!slot) {
+    Scenario s = base_;
+    s.range_m = links_[addr].range_m;
+    // One draw stream per (run, node): escalation order cannot perturb other
+    // links, and the parent window stream is never advanced.
+    slot = std::make_unique<WaveLink>(std::move(s),
+                                      wave_stream_.child(links_[addr].node_id));
+  }
+  return *slot;
+}
+
+Fidelity FleetLinkTransport::choose_fidelity(double snr_eff_db) {
+  bool want_waveform = false;
+  switch (policy_.mode) {
+    case FidelityMode::kBudgetOnly:
+      break;
+    case FidelityMode::kWaveformOnly:
+      want_waveform = true;
+      break;
+    case FidelityMode::kAdaptive: {
+      const bool marginal =
+          std::abs(snr_eff_db - waterfall_snr_db_) <= policy_.escalate_margin_db;
+      const bool contended = policy_.escalate_on_contention && contention_ > 0;
+      if (marginal || contended) {
+        want_waveform = true;
+        if (marginal) ++tally_.escalations_marginal;
+        if (contended) ++tally_.escalations_contention;
+      }
+      break;
+    }
+  }
+  if (want_waveform && tally_.waveform_polls >= policy_.max_waveform_polls) {
+    ++tally_.waveform_cap_hits;
+    want_waveform = false;
+  }
+  return want_waveform ? Fidelity::kWaveform : Fidelity::kBudget;
+}
+
+bool FleetLinkTransport::downlink_delivered(std::uint8_t addr, common::Rng& rng) {
+  // The query/ACK legs ride the projector carrier, ~90 dB louder than the
+  // backscatter return; fleet-scale loss is concentrated on the uplink.
+  (void)addr;
+  (void)rng;
+  return true;
+}
+
+bool FleetLinkTransport::ack_delivered(std::uint8_t addr, common::Rng& rng) {
+  (void)addr;
+  (void)rng;
+  return true;
+}
+
+bool FleetLinkTransport::uplink_delivered(std::uint8_t addr, bytes& wire,
+                                          common::Rng& rng) {
+  if (addr >= links_.size())
+    throw std::out_of_range("poll outside the active address window");
+  const LinkInfo& link = links_[addr];
+  if (contention_ > 0) ++tally_.contended_polls;
+
+  // The SINR penalty for concurrent in-range exchanges applies to both
+  // fidelities' escalation decision; the budget path also folds it into the
+  // delivery draw (the waveform path models interference via its own noise).
+  const double snr_eff =
+      link.snr_db - static_cast<double>(contention_) * contention_penalty_db_;
+  last_fidelity_ = choose_fidelity(snr_eff);
+
+  if (last_fidelity_ == Fidelity::kBudget) {
+    ++tally_.budget_polls;
+    static const obs::Counter polls = obs::counter("fleet.polls_budget");
+    polls.add(1);
+    const double fade = rng.gaussian(0.0, base_.env.fading_sigma_db);
+    const double p =
+        frame_delivery_prob(snr_eff + fade, wire.size() * 8);
+    return rng.coin(p);
+  }
+
+  ++tally_.waveform_polls;
+  static const obs::Counter polls = obs::counter("fleet.polls_waveform");
+  polls.add(1);
+  WaveLink& wl = wave_link(addr);
+  bitvec tx_bits;
+  bytes_to_bits(wire, tx_bits);
+  const WaveformTrialResult trial = wl.sim.run_trial(tx_bits);
+  if (trial.frame_ok) return true;
+  if (!trial.demod.sync_found) return false;  // no reply detected at all
+  // Sync but bit errors: hand the damaged bits back on the wire and let the
+  // reader's CRC classify them, exactly as the single-link pipeline does.
+  const phy::FrameCodec codec(base_.fec);
+  if (trial.demod.bits.size() != codec.coded_size(tx_bits.size())) return false;
+  std::size_t corrected = 0;
+  const bitvec decoded = codec.decode(trial.demod.bits, tx_bits.size(), corrected);
+  bits_to_bytes(decoded, wire);
+  return true;
+}
+
+}  // namespace vab::sim::fleet

@@ -1,0 +1,121 @@
+// Fleet-side link transports: both PHY fidelities behind the
+// net::LinkTransport seam, plus the policy that switches between them.
+//
+// - Budget fidelity (the fleet default): per poll, draw lognormal shadowing,
+//   evaluate the calibrated link budget at the link's range, map chip SNR ->
+//   FM0 BER -> frame-loss probability for the actual wire length, and flip
+//   one coin. Cost: nanoseconds per poll, so 100k-node fleets are feasible.
+// - Waveform fidelity: the report's wire bits ride the full pipeline
+//   (projector carrier, multipath, array reflection, blast, Wenz noise,
+//   SIC, demod); decode errors corrupt the wire in place and the reader's
+//   CRC classifies the damage. Cost: tens of ms per poll, so the policy
+//   escalates only marginal or contended links and a shared cap bounds the
+//   per-run spend.
+//
+// Escalation is observable: per-transport tallies feed the fleet result and
+// the obs fleet.* counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/linkbudget.hpp"
+#include "sim/scenario.hpp"
+#include "sim/waveform_sim.hpp"
+
+namespace vab::sim::fleet {
+
+/// Which PHY model carried a poll.
+enum class Fidelity : std::uint8_t { kBudget, kWaveform };
+
+enum class FidelityMode : std::uint8_t {
+  kAdaptive,      ///< budget by default, waveform for marginal/contended links
+  kBudgetOnly,    ///< never escalate (fastest; large-fleet default)
+  kWaveformOnly,  ///< every poll through the waveform pipeline (validation)
+};
+
+struct FidelityPolicy {
+  FidelityMode mode = FidelityMode::kAdaptive;
+  /// A link is "marginal" when its effective SNR sits within this margin of
+  /// the waterfall SNR (the SNR where frame delivery crosses 50%).
+  double escalate_margin_db = 2.0;
+  /// Escalate links polled while another in-range reader is mid-exchange.
+  bool escalate_on_contention = true;
+  /// Shared per-run budget of waveform polls; past it, escalation falls
+  /// back to budget fidelity (counted, never silent).
+  std::size_t max_waveform_polls = 128;
+};
+
+/// Per-run escalation accounting, merged into FleetResult.
+struct PollTally {
+  std::size_t budget_polls = 0;
+  std::size_t waveform_polls = 0;
+  std::size_t escalations_marginal = 0;
+  std::size_t escalations_contention = 0;
+  std::size_t waveform_cap_hits = 0;
+  std::size_t contended_polls = 0;
+};
+
+/// LinkTransport over one reader's active address window. Local MAC address
+/// = index into the window's link table; each link carries its own range,
+/// cached budget SNR, and (lazily, on escalation) a waveform simulator fed
+/// by a per-link child stream.
+class FleetLinkTransport final : public net::LinkTransport {
+ public:
+  struct LinkInfo {
+    std::uint32_t node_id = 0;  ///< global id (seeds the wave stream)
+    double range_m = 1.0;
+    double snr_db = 0.0;  ///< filled by begin_window: budget SNR at range
+  };
+
+  /// `report_bits` is the representative report wire length used to place
+  /// the waterfall SNR (delivery = 50%) for the escalation margin.
+  FleetLinkTransport(const Scenario& base, const FidelityPolicy& policy,
+                     double contention_penalty_db, std::size_t report_bits);
+
+  /// Installs the links of the next address window (index = local addr) and
+  /// the stream that seeds per-link waveform draws.
+  void begin_window(std::vector<LinkInfo> links, common::Rng wave_stream);
+
+  /// Number of other readers mid-exchange in interference range of the node
+  /// being polled next; reset before every poll by the fleet engine.
+  void set_contention(std::size_t contenders) { contention_ = contenders; }
+
+  bool downlink_delivered(std::uint8_t addr, common::Rng& rng) override;
+  bool uplink_delivered(std::uint8_t addr, bytes& wire, common::Rng& rng) override;
+  bool ack_delivered(std::uint8_t addr, common::Rng& rng) override;
+
+  const PollTally& tally() const { return tally_; }
+  Fidelity last_fidelity() const { return last_fidelity_; }
+  double waterfall_snr_db() const { return waterfall_snr_db_; }
+
+  /// Budget chip SNR -> frame delivery probability for `bits` wire bits.
+  static double frame_delivery_prob(double snr_db, std::size_t bits);
+
+ private:
+  struct WaveLink {
+    common::Rng rng;
+    WaveformSimulator sim;
+    WaveLink(Scenario s, common::Rng stream) : rng(stream), sim(std::move(s), rng) {}
+  };
+
+  Fidelity choose_fidelity(double snr_eff_db);
+  WaveLink& wave_link(std::uint8_t addr);
+
+  Scenario base_;
+  FidelityPolicy policy_;
+  double contention_penalty_db_;
+  double waterfall_snr_db_ = 0.0;
+  LinkBudget budget_;
+  std::vector<LinkInfo> links_;
+  std::vector<std::unique_ptr<WaveLink>> wave_;  ///< lazy, per window addr
+  common::Rng wave_stream_{0};
+  std::size_t contention_ = 0;
+  PollTally tally_;
+  Fidelity last_fidelity_ = Fidelity::kBudget;
+};
+
+}  // namespace vab::sim::fleet

@@ -24,8 +24,9 @@ import sys
 from pathlib import Path
 
 # Kernels the perf PR promised: correlation and FFT paths (plus the decimated
-# FIR that replaced full-rate filtering on the demod chain).
-WATCH_PATTERN = re.compile(r"Correlate|Fft|FirDecimate")
+# FIR that replaced full-rate filtering on the demod chain), and the fleet
+# simulator's hot path (event queue, spatial grid, budget-fidelity run).
+WATCH_PATTERN = re.compile(r"Correlate|Fft|FirDecimate|Fleet")
 
 # Machine-speed proxy: plain streaming FIR, untouched scalar code. Not in the
 # watchlist, so a genuine FFT/correlation regression cannot hide in it.

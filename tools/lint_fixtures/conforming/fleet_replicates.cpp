@@ -1,0 +1,27 @@
+// Conforming: the fleet-replicate idiom. Each parallel body derives its
+// run stream from the caller's Rng via child(run_index), so every replicate
+// is a pure function of (config, seed, index) — the property the fleet
+// bench's 1/2/8-thread digest cross-check relies on.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace vab::fixture {
+
+using common::Rng;
+
+std::vector<std::uint64_t> replicate_digests(const Rng& rng,
+                                             std::size_t n_runs) {
+  std::vector<std::uint64_t> digests(n_runs);
+  common::parallel_for(0, n_runs, [&](std::size_t k) {
+    const Rng run_rng = rng.child(k);
+    Rng window_rng = run_rng.child(0);
+    digests[k] = static_cast<std::uint64_t>(window_rng.coin(0.5));
+  });
+  return digests;
+}
+
+}  // namespace vab::fixture
