@@ -33,8 +33,9 @@ inline void emit(const common::Table& table, const common::Config& cfg) {
 /// Applies the `threads=N` config key (falling back to VAB_THREADS / the
 /// hardware) to the parallel engine and returns the effective count. Also
 /// wires up observability: the full config is snapshotted into the run
-/// manifest, and `trace=<path>` / `metrics=<path>` config keys enable the
-/// tracer / metrics dump exactly like VAB_TRACE / VAB_METRICS.
+/// manifest, and `trace=<path>` / `metrics=<path>` / `profile=<path>` config
+/// keys enable the tracer / metrics dump / span profiler exactly like
+/// VAB_TRACE / VAB_METRICS / VAB_PROFILE.
 inline unsigned init_threads(const common::Config& cfg) {
   const long n = cfg.get_int("threads", 0);
   common::set_thread_count(n > 0 ? static_cast<unsigned>(n) : 0);
@@ -45,6 +46,8 @@ inline unsigned init_threads(const common::Config& cfg) {
     obs::enable_trace(p);
   if (const std::string p = cfg.get_string("metrics", ""); !p.empty())
     obs::enable_metrics(p);
+  if (const std::string p = cfg.get_string("profile", ""); !p.empty())
+    obs::enable_profile(p);
   return common::thread_count();
 }
 

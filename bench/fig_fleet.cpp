@@ -8,8 +8,12 @@
 // replicate's digest must match bit-for-bit (exit code 1 on mismatch).
 // `budget_s=N` adds a wall-clock ceiling on the sweep (exit code 2), which
 // CI uses to catch superlinear regressions in the fleet hot path.
+// `series=<path>` records every closed address window as a vab-series-v1
+// JSONL point (virtual-clock time base, labeled by sweep point / replicate /
+// reader) — purely observational, digests are unchanged.
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -39,9 +43,19 @@ int main(int argc, char** argv) {
   const auto replicates = static_cast<std::size_t>(cfg.get_int("replicates", 4));
   const auto wave_cap = static_cast<std::size_t>(cfg.get_int("wave_cap", 8));
   const double budget_s = cfg.get_double("budget_s", 0.0);
+  const std::string series_path = cfg.get_string("series", "");
   const unsigned threads = bench::init_threads(cfg);
   common::Rng rng(seed);
   bench::Stopwatch total;
+
+  // Window-level time series, streamed as vab-series-v1 JSONL. Replicates
+  // run in parallel, so each run buffers its points (FleetResult::series)
+  // and we emit them here in replicate order with a run-global sequence
+  // number — byte-identical output for any thread count.
+  std::unique_ptr<obs::SeriesWriter> series;
+  std::uint64_t series_seq = 0;
+  if (!series_path.empty())
+    series = std::make_unique<obs::SeriesWriter>("fleet.windows", series_path);
 
   struct SweepPoint {
     std::size_t n_nodes;
@@ -59,6 +73,7 @@ int main(int argc, char** argv) {
     fc.n_readers = pt.n_readers;
     fc.area_m = pt.area_m;
     fc.fidelity.max_waveform_polls = wave_cap;
+    fc.record_series = series != nullptr;
     return fc;
   };
 
@@ -87,6 +102,29 @@ int main(int argc, char** argv) {
       wave_polls += r.tally.waveform_polls;
       makespan = std::max(makespan, r.makespan_s);
     }
+    if (series) {
+      for (std::size_t k = 0; k < runs.size(); ++k) {
+        for (const auto& wp : runs[k].series) {
+          obs::SeriesPoint sp;
+          sp.window = series_seq++;
+          sp.t_s = wp.t_close_s;
+          sp.labels = {{"nodes", std::to_string(pt.n_nodes)},
+                       {"replicate", std::to_string(k)},
+                       {"reader", std::to_string(wp.reader)}};
+          sp.values = {{"window", wp.window},
+                       {"contenders", wp.contenders},
+                       {"links", wp.links},
+                       {"delivered", wp.delivered},
+                       {"polls", wp.polls},
+                       {"retries", wp.retries},
+                       {"timeouts", wp.timeouts},
+                       {"escalations", wp.escalations},
+                       {"waveform_polls", wp.waveform_polls}};
+          sp.reals = {{"airtime_s", wp.airtime_s}};
+          series->emit(sp);
+        }
+      }
+    }
     total_nodes += pt.n_nodes * replicates;
     largest = fc;
     largest_tag = p;
@@ -108,6 +146,7 @@ int main(int argc, char** argv) {
   // to 1, 2, and 8 threads. Every replicate digest must match bit-for-bit.
   bool identical = true;
   if (have_largest && cfg.get_int("check_identity", 1) != 0) {
+    largest.record_series = false;  // the gate compares digests, not series
     std::vector<std::vector<std::uint64_t>> digests;
     for (const unsigned n : {1U, 2U, 8U}) {
       common::set_thread_count(n);

@@ -6,7 +6,13 @@
 // exponential backoff buys back. "arq=off" caps the retry budget at zero,
 // so each node gets exactly one poll per round and loss shows up directly
 // in the delivery ratio.
+//
+// `series=<path>` records one vab-series-v1 point per (loss, arq) grid cell,
+// keyed on the cumulative virtual airtime of the sweep; the per-cell values
+// are exact integer sums over the cell's trials, so the series is
+// byte-identical for any thread count.
 #include <iostream>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
@@ -41,6 +47,11 @@ int main(int argc, char** argv) {
   struct CellStats {
     double delivery = 0.0, polls = 0.0, retries = 0.0, duration_s = 0.0,
            completed = 0.0;
+    // Exact integer sums over the cell's trials (the columns above are
+    // per-trial means), feeding the series export and any exact cross-run
+    // comparison.
+    std::uint64_t delivered_n = 0, polls_n = 0, retries_n = 0, completed_n = 0;
+    double airtime_sum_s = 0.0;
   };
   std::vector<CellStats> stats(grid.size());
 
@@ -74,10 +85,17 @@ int main(int argc, char** argv) {
       acc.retries += static_cast<double>(r.retries);
       acc.duration_s += r.duration_s;
       acc.completed += r.complete ? 1.0 : 0.0;
+      acc.delivered_n += static_cast<std::uint64_t>(r.delivered);
+      acc.polls_n += static_cast<std::uint64_t>(r.polls);
+      acc.retries_n += static_cast<std::uint64_t>(r.retries);
+      acc.completed_n += r.complete ? 1 : 0;
+      acc.airtime_sum_s += r.duration_s;
     }
     const double n = static_cast<double>(trials);
-    stats[g] = {acc.delivery / n, acc.polls / n, acc.retries / n,
-                acc.duration_s / n, acc.completed / n};
+    stats[g] = {acc.delivery / n,    acc.polls / n,     acc.retries / n,
+                acc.duration_s / n,  acc.completed / n, acc.delivered_n,
+                acc.polls_n,         acc.retries_n,     acc.completed_n,
+                acc.airtime_sum_s};
   });
 
   common::Table t({"mean_loss", "arq", "delivery_ratio", "polls", "retries",
@@ -92,6 +110,30 @@ int main(int argc, char** argv) {
                common::Table::num(stats[g].completed, 2)});
   }
   bench::emit(t, cfg);
+
+  // Cells ran in parallel; emission here walks the grid in declaration
+  // order, keyed on cumulative virtual airtime, so the file is byte-stable.
+  if (const std::string sp_path = cfg.get_string("series", ""); !sp_path.empty()) {
+    obs::SeriesWriter series("impairment.cells", sp_path);
+    double airtime_acc = 0.0;
+    for (std::size_t g = 0; g < grid.size(); ++g) {
+      airtime_acc += stats[g].airtime_sum_s;
+      obs::SeriesPoint sp;
+      sp.window = g;
+      sp.t_s = airtime_acc;
+      sp.labels = {{"loss", common::Table::num(grid[g].mean_loss, 2)},
+                   {"arq", grid[g].arq ? "on" : "off"}};
+      sp.values = {{"delivered", stats[g].delivered_n},
+                   {"polls", stats[g].polls_n},
+                   {"retries", stats[g].retries_n},
+                   {"completed", stats[g].completed_n},
+                   {"trials", trials}};
+      sp.reals = {{"airtime_s", stats[g].airtime_sum_s}};
+      series.emit(sp);
+    }
+    std::cout << "wrote " << sp_path << "\n";
+  }
+
   bench::emit_timing("EXT-5", "impairment_sweep", sw.seconds(),
                      grid.size() * trials);
   return 0;

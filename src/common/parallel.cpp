@@ -32,6 +32,14 @@ struct EngineMetrics {
   obs::Counter busy_ns = obs::counter("parallel.worker_busy_ns");
   obs::Counter idle_ns = obs::counter("parallel.worker_idle_ns");
   obs::Gauge threads_gauge = obs::gauge("parallel.threads");
+  // Per-worker attribution ({worker=N} series). Worker indices are bounded
+  // by kMaxThreads, so the cap is never hit and no series is ever dropped.
+  obs::CounterFamily busy_by_worker{obs::Registry::global(),
+                                    "parallel.worker_busy_ns", kMaxThreads};
+  obs::CounterFamily idle_by_worker{obs::Registry::global(),
+                                    "parallel.worker_idle_ns", kMaxThreads};
+  obs::CounterFamily tasks_by_worker{obs::Registry::global(),
+                                     "parallel.worker_tasks", kMaxThreads};
   // 1µs .. 1s upper bounds, then overflow.
   obs::Histogram queue_wait_ns = obs::histogram(
       "parallel.queue_wait_ns",
@@ -58,10 +66,17 @@ class Pool {
     n = std::min(n, kMaxThreads);
     std::lock_guard<std::mutex> lk(mu_);
     while (workers_.size() < n) {
-      workers_.emplace_back([this] {
+      const unsigned widx = static_cast<unsigned>(workers_.size());
+      workers_.emplace_back([this, widx] {
         t_in_worker = true;
         obs::set_thread_name("pool-worker");
         EngineMetrics& m = EngineMetrics::get();
+        // Resolve this worker's labeled series once; recording stays the
+        // usual lock-free shard add.
+        const obs::LabelSet wl{{"worker", std::to_string(widx)}};
+        const obs::Counter w_busy = m.busy_by_worker.with(wl);
+        const obs::Counter w_idle = m.idle_by_worker.with(wl);
+        const obs::Counter w_tasks = m.tasks_by_worker.with(wl);
         for (;;) {
           Task task;
           const std::uint64_t t_wait = obs::now_ns();
@@ -74,10 +89,14 @@ class Pool {
           }
           const std::uint64_t t_run = obs::now_ns();
           m.idle_ns.add(t_run - t_wait);
+          w_idle.add(t_run - t_wait);
           m.queue_wait_ns.record(t_run - task.enqueue_ns);
           m.tasks.inc();
+          w_tasks.inc();
           task.fn();
-          m.busy_ns.add(obs::now_ns() - t_run);
+          const std::uint64_t t_done = obs::now_ns();
+          m.busy_ns.add(t_done - t_run);
+          w_busy.add(t_done - t_run);
         }
       });
     }

@@ -1,5 +1,6 @@
 #include "obs/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -32,9 +33,12 @@ std::string json_escape(std::string_view s) {
 
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
+  // std::to_chars with no precision argument emits the shortest decimal
+  // string that parses back to exactly `v` — lossless, unlike a fixed "%g"
+  // precision, and always JSON-valid (no hex floats, no locale commas).
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
-  return buf;
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
 }
 
 void JsonWriter::before_value() {

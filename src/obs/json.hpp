@@ -17,9 +17,10 @@ namespace vab::obs {
 /// bytes (including UTF-8 multibyte sequences) pass through untouched.
 std::string json_escape(std::string_view s);
 
-/// Formats a double the way JSON expects: shortest round-trippable-ish
-/// representation via "%.12g"; NaN and infinities (not representable in
-/// JSON) degrade to `null`.
+/// Formats a double the way JSON expects: the shortest decimal string that
+/// round-trips to exactly the same double (std::to_chars shortest form), so
+/// no value is silently altered by serialization. NaN and infinities (not
+/// representable in JSON) degrade to `null`.
 std::string json_number(double v);
 
 class JsonWriter {

@@ -1,0 +1,153 @@
+#include "obs/labels.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace vab::obs {
+
+namespace {
+
+bool legal_label_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+void validate_token(const std::string& s, const char* what) {
+  if (s.empty())
+    throw std::invalid_argument(std::string("label ") + what + " is empty");
+  for (const char c : s) {
+    if (!legal_label_char(c))
+      throw std::invalid_argument(std::string("label ") + what + " '" + s +
+                                  "' has characters outside [A-Za-z0-9_.-]");
+  }
+}
+
+// Shared family bookkeeping: the canonical-suffix -> handle cache, the cap,
+// and the drop counter. Templated on the handle type (Counter/Histogram);
+// the make callback interns a new series in the registry.
+template <typename Handle>
+struct FamilyState {
+  std::mutex mu;
+  std::map<std::string, Handle> series;  // canonical suffix -> handle
+  std::size_t max_series;
+  Handle overflow;
+  Counter dropped_ctr;
+  std::uint64_t dropped = 0;
+
+  FamilyState(std::size_t cap, Handle overflow_handle, Counter drop_counter)
+      : max_series(cap),
+        overflow(overflow_handle),
+        dropped_ctr(drop_counter) {}
+
+  template <typename Make>
+  Handle with(const LabelSet& labels, const Make& make) {
+    const std::string suffix = encode_labels(labels);
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = series.find(suffix);
+    if (it != series.end()) return it->second;
+    if (series.size() >= max_series) {
+      ++dropped;
+      dropped_ctr.inc();
+      return overflow;
+    }
+    Handle h = make(suffix);
+    series.emplace(suffix, h);
+    return h;
+  }
+
+  std::size_t count() {
+    std::lock_guard<std::mutex> lk(mu);
+    return series.size();
+  }
+
+  std::uint64_t dropped_count() {
+    std::lock_guard<std::mutex> lk(mu);
+    return dropped;
+  }
+};
+
+}  // namespace
+
+std::string encode_labels(const LabelSet& labels) {
+  if (labels.empty()) throw std::invalid_argument("label set is empty");
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label& a, const Label& b) { return a.first < b.first; });
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    validate_token(sorted[i].first, "key");
+    validate_token(sorted[i].second, "value");
+    if (i > 0) {
+      if (sorted[i].first == sorted[i - 1].first)
+        throw std::invalid_argument("duplicate label key '" + sorted[i].first + "'");
+      out += ',';
+    }
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+// --- CounterFamily ----------------------------------------------------------
+
+struct CounterFamily::Impl : FamilyState<Counter> {
+  Registry* reg;
+  std::string name;
+
+  Impl(Registry& r, std::string n, std::size_t cap)
+      : FamilyState<Counter>(cap, r.counter(n + "{overflow}"),
+                             r.counter(n + ".labels_dropped")),
+        reg(&r),
+        name(std::move(n)) {}
+};
+
+CounterFamily::CounterFamily(Registry& reg, std::string name,
+                             std::size_t max_series)
+    : impl_(std::make_shared<Impl>(reg, std::move(name), max_series)) {}
+
+Counter CounterFamily::with(const LabelSet& labels) const {
+  return impl_->with(labels, [this](const std::string& suffix) {
+    return impl_->reg->counter(impl_->name + suffix);
+  });
+}
+
+Counter CounterFamily::overflow() const { return impl_->overflow; }
+std::size_t CounterFamily::series_count() const { return impl_->count(); }
+std::uint64_t CounterFamily::dropped() const { return impl_->dropped_count(); }
+
+// --- HistogramFamily --------------------------------------------------------
+
+struct HistogramFamily::Impl : FamilyState<Histogram> {
+  Registry* reg;
+  std::string name;
+  std::vector<std::uint64_t> bounds;
+
+  Impl(Registry& r, std::string n, std::vector<std::uint64_t> b, std::size_t cap)
+      : FamilyState<Histogram>(cap, r.histogram(n + "{overflow}", b),
+                               r.counter(n + ".labels_dropped")),
+        reg(&r),
+        name(std::move(n)),
+        bounds(std::move(b)) {}
+};
+
+HistogramFamily::HistogramFamily(Registry& reg, std::string name,
+                                 std::vector<std::uint64_t> bounds,
+                                 std::size_t max_series)
+    : impl_(std::make_shared<Impl>(reg, std::move(name), std::move(bounds),
+                                   max_series)) {}
+
+Histogram HistogramFamily::with(const LabelSet& labels) const {
+  return impl_->with(labels, [this](const std::string& suffix) {
+    return impl_->reg->histogram(impl_->name + suffix, impl_->bounds);
+  });
+}
+
+Histogram HistogramFamily::overflow() const { return impl_->overflow; }
+std::size_t HistogramFamily::series_count() const { return impl_->count(); }
+std::uint64_t HistogramFamily::dropped() const { return impl_->dropped_count(); }
+
+}  // namespace vab::obs

@@ -10,6 +10,7 @@ namespace {
 struct OutputState {
   std::mutex mu;
   std::string metrics_path;
+  std::string profile_path;
 };
 
 OutputState& outputs() {
@@ -42,17 +43,37 @@ std::string metrics_path() {
   return s.metrics_path;
 }
 
+void enable_profile(std::string path) {
+  OutputState& s = outputs();
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.profile_path = std::move(path);
+  }
+  // The profiler folds trace spans, so recording must be on; keep whatever
+  // trace output path is already configured (often none).
+  if (!trace_enabled()) enable_trace("");
+  register_flush_once();
+}
+
+std::string profile_path() {
+  OutputState& s = outputs();
+  std::lock_guard<std::mutex> lk(s.mu);
+  return s.profile_path;
+}
+
 void init_from_env() {
   if (const char* p = std::getenv("VAB_TRACE"); p && *p) {
     enable_trace(p);
     register_flush_once();
   }
   if (const char* p = std::getenv("VAB_METRICS"); p && *p) enable_metrics(p);
+  if (const char* p = std::getenv("VAB_PROFILE"); p && *p) enable_profile(p);
 }
 
 void flush_outputs() {
   if (const std::string p = trace_path(); trace_enabled() && !p.empty()) write_trace(p);
   if (const std::string p = metrics_path(); !p.empty()) write_metrics(p);
+  if (const std::string p = profile_path(); !p.empty()) write_profile(p);
 }
 
 }  // namespace vab::obs

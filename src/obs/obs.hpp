@@ -5,8 +5,11 @@
 // Runtime gating (read once at startup, before main):
 //   VAB_TRACE=<path>    record spans, write Chrome trace JSON to <path> at exit
 //   VAB_METRICS=<path>  write the metrics snapshot JSON to <path> at exit
-// Benches additionally accept `trace=<path>` / `metrics=<path>` config keys
-// (bench::init_threads wires them to enable_trace / enable_metrics).
+//   VAB_PROFILE=<path>  record spans, write the vab-profile-v1 span
+//                       aggregation to <path> at exit
+// Benches additionally accept `trace=<path>` / `metrics=<path>` /
+// `profile=<path>` config keys (bench::init_threads wires them to
+// enable_trace / enable_metrics / enable_profile).
 //
 // Compile-time gating: configure with -DVAB_DISABLE_OBS=ON (defines
 // VAB_OBS_DISABLED) and the macros below expand to nothing, removing even
@@ -19,8 +22,11 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/labels.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/series.hpp"
 #include "obs/trace.hpp"
 
 namespace vab::obs {
@@ -33,6 +39,12 @@ void init_from_env();
 /// Arms the atexit metrics dump to `path`.
 void enable_metrics(std::string path);
 std::string metrics_path();
+
+/// Arms the atexit profile dump to `path`. Profiling aggregates trace spans,
+/// so this also turns span recording on (without changing the trace output
+/// path if one is already configured).
+void enable_profile(std::string path);
+std::string profile_path();
 
 /// Writes whatever outputs are configured (trace and/or metrics files).
 /// Called automatically at process exit; callable early for long-running

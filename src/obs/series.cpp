@@ -1,0 +1,113 @@
+#include "obs/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+
+namespace vab::obs {
+
+namespace {
+
+// Sorts a key/value vector by key, throwing on duplicates so a malformed
+// point fails loudly instead of emitting ambiguous JSON.
+template <typename V>
+std::vector<std::pair<std::string, V>> sorted_unique(
+    std::vector<std::pair<std::string, V>> kv, const char* what) {
+  std::sort(kv.begin(), kv.end(), [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  for (std::size_t i = 1; i < kv.size(); ++i) {
+    if (kv[i].first == kv[i - 1].first)
+      throw std::invalid_argument(std::string("duplicate series ") + what +
+                                  " key '" + kv[i].first + "'");
+  }
+  return kv;
+}
+
+}  // namespace
+
+SeriesWriter::SeriesWriter(std::string stream, const std::string& path)
+    : stream_(std::move(stream)) {
+  if (!path.empty()) {
+    file_ = std::make_unique<std::ofstream>(path);
+    if (!*file_)
+      throw std::runtime_error("series: cannot open '" + path + "' for writing");
+  }
+}
+
+void SeriesWriter::write_line(const std::string& line) {
+  buffer_ += line;
+  buffer_ += '\n';
+  if (file_) {
+    *file_ << line << '\n';
+    file_->flush();  // heartbeat semantics: every point lands immediately
+  }
+}
+
+void SeriesWriter::write_header() {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "vab-series-v1");
+  w.field("stream", stream_);
+  w.key("manifest").raw(manifest_json());
+  w.end_object();
+  write_line(w.take());
+  header_written_ = true;
+}
+
+void SeriesWriter::emit(const SeriesPoint& p) {
+  if (!std::isfinite(p.t_s))
+    throw std::invalid_argument("series point has a non-finite t_s");
+  if (p.values.empty() && p.reals.empty())
+    throw std::invalid_argument("series point has no values");
+  if (points_ > 0 && p.window < last_window_)
+    throw std::logic_error("series window regressed: virtual-time series "
+                           "must be emitted in window order");
+
+  // Reals and ints share the "v" object, so cross-check for collisions too.
+  const auto values = sorted_unique(p.values, "value");
+  const auto reals = sorted_unique(p.reals, "value");
+  for (const auto& [k, v] : reals) {
+    (void)v;
+    const auto hit = std::find_if(values.begin(), values.end(),
+                                  [&](const auto& e) { return e.first == k; });
+    if (hit != values.end())
+      throw std::invalid_argument("duplicate series value key '" + k + "'");
+  }
+
+  if (!header_written_) write_header();
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("w", p.window);
+  w.field("t_s", p.t_s);
+  if (!p.labels.empty()) {
+    w.key("labels").begin_object();
+    for (const auto& [k, v] : sorted_unique(p.labels, "label")) w.field(k, v);
+    w.end_object();
+  }
+  w.key("v").begin_object();
+  // Merge the two sorted runs so "v" comes out fully key-sorted.
+  std::size_t i = 0, j = 0;
+  while (i < values.size() || j < reals.size()) {
+    if (j >= reals.size() ||
+        (i < values.size() && values[i].first < reals[j].first)) {
+      w.field(values[i].first, values[i].second);
+      ++i;
+    } else {
+      w.field(reals[j].first, reals[j].second);
+      ++j;
+    }
+  }
+  w.end_object();
+  w.end_object();
+  write_line(w.take());
+
+  last_window_ = p.window;
+  ++points_;
+}
+
+}  // namespace vab::obs

@@ -1,0 +1,76 @@
+// Virtual-time metric series: windowed snapshots keyed on a simulation's
+// virtual clock (window sequence number + virtual seconds — never wall
+// clock), exported as a `vab-series-v1` JSONL stream.
+//
+// Stream layout (one JSON object per line):
+//   {"schema":"vab-series-v1","stream":"fleet.windows","manifest":{...}}
+//   {"w":0,"t_s":236.2,"labels":{"reader":"0"},"v":{"delivered":57,...}}
+//   {"w":1,"t_s":241.0,...}
+//
+// `w` is the producer's window sequence number and must never decrease;
+// `t_s` is virtual time and must be finite. Integer values serialize as
+// integers; real values use the shortest exact round-trip form (json.hpp),
+// so a stream produced by a deterministic workload is byte-identical across
+// thread counts and re-runs — `tools/vab_report.py --diff` relies on this.
+//
+// When constructed with a path, every point is written and flushed as it is
+// emitted, so the stream doubles as live progress/heartbeat for long runs
+// (tail -f the file, or point the future sim-service streamer at it). The
+// full stream is also buffered in memory for summaries and tests.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vab::obs {
+
+/// One windowed snapshot. `labels` attribute the point (reader id, node
+/// class, ...); `values`/`reals` are the metrics. Keys are serialized in
+/// sorted order regardless of insertion order; duplicate keys throw.
+struct SeriesPoint {
+  std::uint64_t window = 0;  ///< window sequence number (monotonic)
+  double t_s = 0.0;          ///< virtual time, seconds (finite)
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, std::uint64_t>> values;
+  std::vector<std::pair<std::string, double>> reals;
+};
+
+class SeriesWriter {
+ public:
+  /// `stream` names the series (e.g. "fleet.windows"); a non-empty `path`
+  /// arms line-by-line file streaming (throws std::runtime_error when the
+  /// file cannot be opened).
+  explicit SeriesWriter(std::string stream, const std::string& path = "");
+
+  SeriesWriter(const SeriesWriter&) = delete;
+  SeriesWriter& operator=(const SeriesWriter&) = delete;
+
+  /// Serializes and emits one point. Throws std::logic_error when `window`
+  /// regresses and std::invalid_argument on a non-finite `t_s`, an empty
+  /// value set, or duplicate keys. The header line (schema + manifest) is
+  /// emitted lazily before the first point.
+  void emit(const SeriesPoint& p);
+
+  /// Points emitted so far.
+  std::uint64_t points() const { return points_; }
+
+  /// The full buffered stream (header + every point), JSONL.
+  const std::string& jsonl() const { return buffer_; }
+
+ private:
+  void write_line(const std::string& line);
+  void write_header();
+
+  std::string stream_;
+  std::string buffer_;
+  std::unique_ptr<std::ofstream> file_;
+  bool header_written_ = false;
+  std::uint64_t points_ = 0;
+  std::uint64_t last_window_ = 0;
+};
+
+}  // namespace vab::obs

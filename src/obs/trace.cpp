@@ -10,6 +10,7 @@
 
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 
 namespace vab::obs {
 
@@ -134,6 +135,12 @@ void record_complete_event(const char* name, const char* cat, std::uint64_t t0_n
   if (!trace_enabled()) return;
   Ring& ring = local_ring();
   const std::uint64_t n = ring.count.load(std::memory_order_relaxed);
+  if (n >= kRingCapacity) {
+    // Overwriting the oldest event: make the loss observable as it happens,
+    // not just in the export. Resolved once (magic static), relaxed add.
+    static const Counter dropped_ctr = Registry::global().counter("obs.trace.dropped");
+    dropped_ctr.inc();
+  }
   Event& e = ring.events[n % kRingCapacity];
   e.name.store(name, std::memory_order_relaxed);
   e.cat.store(cat, std::memory_order_relaxed);
@@ -142,18 +149,7 @@ void record_complete_event(const char* name, const char* cat, std::uint64_t t0_n
   ring.count.store(n + 1, std::memory_order_release);
 }
 
-namespace {
-
-struct FlatEvent {
-  const char* name;
-  const char* cat;
-  std::uint64_t t0, t1;
-  std::uint32_t tid;
-};
-
-}  // namespace
-
-std::string trace_json() {
+std::vector<CollectedSpan> collect_trace_spans(std::uint64_t* dropped) {
   TraceState& s = state();
   std::vector<std::shared_ptr<Ring>> rings;
   {
@@ -161,16 +157,15 @@ std::string trace_json() {
     rings = s.rings;
   }
 
-  std::vector<FlatEvent> flat;
-  std::uint64_t dropped = 0;
-  std::vector<std::pair<std::uint32_t, const char*>> names;
+  std::vector<CollectedSpan> flat;
+  std::uint64_t lost = 0;
   for (const auto& ring : rings) {
     const std::uint64_t total = ring->count.load(std::memory_order_acquire);
     const std::uint64_t kept = std::min<std::uint64_t>(total, kRingCapacity);
-    dropped += total - kept;
+    lost += total - kept;
     for (std::uint64_t i = total - kept; i < total; ++i) {
       const Event& e = ring->events[i % kRingCapacity];
-      FlatEvent f;
+      CollectedSpan f;
       f.name = e.name.load(std::memory_order_relaxed);
       f.cat = e.cat.load(std::memory_order_relaxed);
       f.t0 = e.t0.load(std::memory_order_relaxed);
@@ -178,11 +173,28 @@ std::string trace_json() {
       f.tid = ring->tid;
       if (f.name) flat.push_back(f);
     }
-    const char* tname = ring->thread_name.load(std::memory_order_relaxed);
-    names.emplace_back(ring->tid, tname ? tname : (ring->tid == 0 ? "main" : nullptr));
   }
   std::stable_sort(flat.begin(), flat.end(),
-                   [](const FlatEvent& a, const FlatEvent& b) { return a.t0 < b.t0; });
+                   [](const CollectedSpan& a, const CollectedSpan& b) {
+                     return a.t0 < b.t0;
+                   });
+  if (dropped) *dropped = lost;
+  return flat;
+}
+
+std::string trace_json() {
+  TraceState& s = state();
+  std::vector<std::pair<std::uint32_t, const char*>> names;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& ring : s.rings) {
+      const char* tname = ring->thread_name.load(std::memory_order_relaxed);
+      names.emplace_back(ring->tid,
+                         tname ? tname : (ring->tid == 0 ? "main" : nullptr));
+    }
+  }
+  std::uint64_t dropped = 0;
+  const std::vector<CollectedSpan> flat = collect_trace_spans(&dropped);
 
   JsonWriter w;
   w.begin_object();
@@ -197,7 +209,7 @@ std::string trace_json() {
     w.key("args").begin_object().field("name", tname).end_object();
     w.end_object();
   }
-  for (const FlatEvent& f : flat) {
+  for (const CollectedSpan& f : flat) {
     w.begin_object();
     w.field("name", f.name);
     w.field("cat", f.cat ? f.cat : "vab");
@@ -214,6 +226,7 @@ std::string trace_json() {
   w.key("otherData").begin_object();
   w.key("manifest").raw(manifest_json());
   w.field("droppedEvents", dropped);
+  w.field("truncated", dropped > 0);
   w.end_object();
   w.end_object();
   return w.take();

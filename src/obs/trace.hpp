@@ -6,7 +6,9 @@
 // reads one relaxed atomic and returns; nothing else happens. When enabled,
 // each span costs two steady_clock reads and four relaxed-atomic stores into
 // a preallocated ring slot — no locks, no allocation. Rings overwrite their
-// oldest events when full (the drop count is reported in the export).
+// oldest events when full; overwrites tick the `obs.trace.dropped` counter
+// as they happen and the export reports droppedEvents plus a truncation
+// marker, so a wrapped trace is never silently partial.
 //
 // Span names/categories must be string literals (or otherwise outlive the
 // process): rings store the pointers, not copies.
@@ -18,6 +20,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace vab::obs {
 
@@ -69,11 +72,28 @@ class TraceSpan {
   bool armed_ = false;
 };
 
+/// One buffered span, flattened out of the per-thread rings. Name/category
+/// are the original string-literal pointers.
+struct CollectedSpan {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Snapshot of every buffered span across all thread rings, sorted by begin
+/// timestamp (stable). `dropped` (may be null) receives the number of spans
+/// lost to ring overwrites. Feeds the trace exporter and the profiler.
+std::vector<CollectedSpan> collect_trace_spans(std::uint64_t* dropped);
+
 /// The full trace as Chrome trace-event JSON:
 ///   {"traceEvents":[...], "displayTimeUnit":"ms",
-///    "otherData":{"manifest":{...},"droppedEvents":N}}
+///    "otherData":{"manifest":{...},"droppedEvents":N,"truncated":bool}}
 /// Events are sorted by begin timestamp; thread-name metadata events are
-/// emitted for every thread that recorded at least one span.
+/// emitted for every thread that recorded at least one span. `truncated` is
+/// true when ring overwrites dropped events (also counted by the
+/// `obs.trace.dropped` metric as it happens).
 std::string trace_json();
 
 /// Writes trace_json() to `path`; false when the file cannot be opened.

@@ -119,6 +119,17 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
 
   static const obs::Counter windows_ctr = obs::counter("fleet.windows");
   static const obs::Counter delivered_ctr = obs::counter("fleet.delivered");
+  // Per-reader attribution. Reader ids are bounded by the deployment (a few
+  // dozen at most in the shipped scenarios), far under the cap, so every
+  // reader gets its own series and the snapshot stays deterministic.
+  static const obs::CounterFamily windows_by_reader(
+      obs::Registry::global(), "fleet.windows", 256);
+  static const obs::CounterFamily delivered_by_reader(
+      obs::Registry::global(), "fleet.delivered", 256);
+  static const obs::CounterFamily polls_by_reader(
+      obs::Registry::global(), "fleet.polls", 256);
+
+  const bool record = cfg.record_series || static_cast<bool>(cfg.on_window);
 
   while (const auto ev = queue.pop()) {
     ++res.events;
@@ -152,6 +163,8 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
       population.push_back(static_cast<std::uint8_t>(k - lo));
     }
 
+    const std::size_t n_links = links.size();
+    const PollTally tally_before = transports[r]->tally();
     const common::Rng window_rng = rng.child(kStreamReaders + r).child(w);
     transports[r]->begin_window(std::move(links), window_rng.child(kStreamWaveform));
     transports[r]->set_contention(contenders);
@@ -173,8 +186,36 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
     res.demotions += wres.demotions;
     res.airtime_s += wres.duration_s;
 
+    const obs::LabelSet reader_label{{"reader", std::to_string(r)}};
+    windows_by_reader.with(reader_label).inc();
+    delivered_by_reader.with(reader_label).add(
+        static_cast<std::uint64_t>(wres.delivered));
+    polls_by_reader.with(reader_label).add(static_cast<std::uint64_t>(wres.polls));
+
     busy_until[r] = t + wres.duration_s + cfg.inventory.timing.guard_s;
     res.makespan_s = std::max(res.makespan_s, busy_until[r]);
+
+    if (record) {
+      const PollTally& ta = transports[r]->tally();
+      WindowPoint wp;
+      wp.seq = static_cast<std::uint64_t>(res.windows - 1);
+      wp.t_close_s = busy_until[r];
+      wp.reader = static_cast<std::uint32_t>(r);
+      wp.window = static_cast<std::uint64_t>(w);
+      wp.contenders = contenders;
+      wp.links = n_links;
+      wp.delivered = wres.delivered;
+      wp.polls = wres.polls;
+      wp.retries = wres.retries;
+      wp.timeouts = wres.timeouts;
+      wp.escalations =
+          (ta.escalations_marginal - tally_before.escalations_marginal) +
+          (ta.escalations_contention - tally_before.escalations_contention);
+      wp.waveform_polls = ta.waveform_polls - tally_before.waveform_polls;
+      wp.airtime_s = wres.duration_s;
+      if (cfg.record_series) res.series.push_back(wp);
+      if (cfg.on_window) cfg.on_window(wp);
+    }
     if (hi < ids.size()) {
       queue.push(Event{busy_until[r], static_cast<std::uint32_t>(r),
                        kEventStartWindow, static_cast<std::uint64_t>(w + 1)});

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -43,6 +44,25 @@ namespace vab::sim::fleet {
 /// Usable MAC addresses per address-reuse window (8-bit space minus the
 /// broadcast address, minus headroom for discovery/control addresses).
 inline constexpr std::size_t kWindowAddrs = 192;
+
+/// One closed address window, observed on the virtual clock. The window
+/// sequence number and close time are pure functions of the config+seed, so
+/// a recorded series is as deterministic as the digest itself.
+struct WindowPoint {
+  std::uint64_t seq = 0;     ///< run-global window sequence (pop order)
+  double t_close_s = 0.0;    ///< virtual time when the window's reader idles
+  std::uint32_t reader = 0;
+  std::uint64_t window = 0;  ///< per-reader address-window index
+  std::size_t contenders = 0;
+  std::size_t links = 0;     ///< links polled in this window
+  std::size_t delivered = 0;
+  std::size_t polls = 0;
+  std::size_t retries = 0;
+  std::size_t timeouts = 0;
+  std::size_t escalations = 0;  ///< marginal + contention escalations
+  std::size_t waveform_polls = 0;
+  double airtime_s = 0.0;
+};
 
 struct FleetConfig {
   /// Per-link base scenario; each link re-ranges it to its own geometry.
@@ -63,6 +83,14 @@ struct FleetConfig {
   FidelityPolicy fidelity{};
   /// MAC timing / ARQ / poll budget applied per address window.
   net::InventoryConfig inventory{};
+  /// Collect a WindowPoint per closed window into FleetResult::series.
+  /// Purely observational: the digest and every protocol outcome are
+  /// bit-identical with this on or off.
+  bool record_series = false;
+  /// Live per-window hook, invoked synchronously inside the (serial) event
+  /// loop as each window closes. Same observational guarantee. Callers
+  /// fanning replicates over threads must make the callback thread-safe.
+  std::function<void(const WindowPoint&)> on_window;
 };
 
 /// Aggregate outcome of one fleet run. All counters are integers so the
@@ -89,6 +117,11 @@ struct FleetResult {
   double waterfall_snr_db = 0.0;
   std::uint64_t digest = 0;  ///< FNV-1a over the integer outcomes above
   bool complete = false;     ///< every assigned node delivered
+  /// Per-window time series (populated when FleetConfig::record_series is
+  /// set); ordered by event-loop pop, i.e. by (virtual time, push seq).
+  /// Deliberately excluded from the digest: the digest certifies protocol
+  /// outcomes, and must not change when observation is toggled.
+  std::vector<WindowPoint> series;
 };
 
 /// Deterministic deployment geometry for one run (exposed for tests).

@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "net/app.hpp"
 #include "net/frame.hpp"
@@ -302,6 +304,103 @@ TEST_P(FleetFuzz, RandomTopologyNeverViolatesConservation) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FleetFuzz, ::testing::Range<std::uint64_t>(0, 12));
+
+// ---- Fleet window series: virtual-time telemetry ----------------------------
+
+TEST(FleetSeries, RecordingDoesNotPerturbTheDigest) {
+  sim::fleet::FleetConfig fc = budget_fleet(400, 4, 600.0);
+  const common::Rng rng(27);
+  const auto plain = sim::fleet::run_fleet(fc, rng);
+  fc.record_series = true;
+  const auto observed = sim::fleet::run_fleet(fc, rng);
+  EXPECT_EQ(plain.digest, observed.digest);
+  EXPECT_TRUE(plain.series.empty());
+  EXPECT_EQ(observed.series.size(), observed.windows);
+}
+
+TEST(FleetSeries, PointsSumToTheRunTotals) {
+  sim::fleet::FleetConfig fc = budget_fleet(500, 3, 500.0);
+  fc.record_series = true;
+  const common::Rng rng(28);
+  const auto r = sim::fleet::run_fleet(fc, rng);
+  ASSERT_EQ(r.series.size(), r.windows);
+  std::size_t delivered = 0, polls = 0, retries = 0, timeouts = 0, links = 0;
+  double airtime = 0.0;
+  std::uint64_t seq = 0;
+  double last_close = 0.0;
+  for (const auto& wp : r.series) {
+    EXPECT_EQ(wp.seq, seq++);             // dense, in pop order
+    EXPECT_GE(wp.t_close_s, last_close - 1e-9);
+    last_close = std::max(last_close, wp.t_close_s);
+    EXPECT_LT(wp.reader, r.readers);
+    EXPECT_LE(wp.delivered, wp.links);
+    delivered += wp.delivered;
+    polls += wp.polls;
+    retries += wp.retries;
+    timeouts += wp.timeouts;
+    links += wp.links;
+    airtime += wp.airtime_s;
+  }
+  EXPECT_EQ(delivered, r.delivered);
+  EXPECT_EQ(polls, r.polls);
+  EXPECT_EQ(retries, r.retries);
+  EXPECT_EQ(timeouts, r.timeouts);
+  EXPECT_EQ(links, r.assigned);  // every assigned node is polled exactly once
+  EXPECT_NEAR(airtime, r.airtime_s, 1e-9);
+}
+
+TEST(FleetSeries, OnWindowHookSeesEveryWindowLive) {
+  sim::fleet::FleetConfig fc = budget_fleet(300, 2, 400.0);
+  std::vector<sim::fleet::WindowPoint> seen;
+  fc.on_window = [&](const sim::fleet::WindowPoint& wp) { seen.push_back(wp); };
+  const common::Rng rng(29);
+  const auto r = sim::fleet::run_fleet(fc, rng);
+  EXPECT_EQ(seen.size(), r.windows);
+  EXPECT_TRUE(r.series.empty());  // hook alone does not buffer
+  std::size_t delivered = 0;
+  for (const auto& wp : seen) delivered += wp.delivered;
+  EXPECT_EQ(delivered, r.delivered);
+}
+
+TEST(FleetSeriesDeterminism, SeriesIdenticalAcrossRerunsAndThreadCounts) {
+  sim::fleet::FleetConfig fc = budget_fleet(600, 4, 700.0);
+  fc.record_series = true;
+  const common::Rng rng(30);
+
+  auto flatten = [](const std::vector<sim::fleet::FleetResult>& runs) {
+    std::vector<std::uint64_t> out;
+    for (const auto& r : runs) {
+      for (const auto& wp : r.series) {
+        out.insert(out.end(),
+                   {wp.seq, static_cast<std::uint64_t>(wp.reader), wp.window,
+                    static_cast<std::uint64_t>(wp.contenders),
+                    static_cast<std::uint64_t>(wp.links),
+                    static_cast<std::uint64_t>(wp.delivered),
+                    static_cast<std::uint64_t>(wp.polls),
+                    static_cast<std::uint64_t>(wp.retries),
+                    static_cast<std::uint64_t>(wp.timeouts),
+                    static_cast<std::uint64_t>(wp.escalations),
+                    static_cast<std::uint64_t>(wp.waveform_polls)});
+        // Virtual timestamps must be bit-identical too, not just close.
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof wp.t_close_s);
+        std::memcpy(&bits, &wp.t_close_s, sizeof bits);
+        out.push_back(bits);
+      }
+    }
+    return out;
+  };
+
+  std::vector<std::vector<std::uint64_t>> flats;
+  for (const unsigned threads : {1U, 2U, 8U}) {
+    common::set_thread_count(threads);
+    flats.push_back(flatten(sim::fleet::run_fleet_replicates(fc, 4, rng)));
+  }
+  common::set_thread_count(0);
+  ASSERT_FALSE(flats[0].empty());
+  EXPECT_EQ(flats[0], flats[1]);
+  EXPECT_EQ(flats[0], flats[2]);
+}
 
 }  // namespace
 }  // namespace vab

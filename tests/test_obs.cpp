@@ -8,7 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,6 +58,43 @@ TEST(ObsJson, NonFiniteDoublesBecomeNull) {
   w.field("nan", std::nan(""));
   w.end_object();
   EXPECT_EQ(w.str(), "{\"nan\":null}");
+}
+
+TEST(ObsJson, NumbersRoundTripExactly) {
+  // json_number must emit a string that parses back to the identical double
+  // for the whole representable range, including the values a fixed "%.12g"
+  // precision silently corrupts.
+  const double cases[] = {0.0,
+                          -0.0,
+                          0.1,
+                          1.0 / 3.0,
+                          std::nextafter(1.0, 2.0),
+                          5e-324,  // smallest denormal
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::min(),
+                          std::numeric_limits<double>::max(),
+                          -std::numeric_limits<double>::max(),
+                          1e100,
+                          -271.828182845904523536,
+                          123456789012345678.0};
+  for (const double v : cases) {
+    const std::string s = vab::obs::json_number(v);
+    const double back = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+        << "value " << v << " serialized as '" << s << "' parsed back as "
+        << back;
+  }
+}
+
+TEST(ObsJson, NumbersUseShortestForm) {
+  // Shortest round-trip form, not a padded fixed precision.
+  EXPECT_EQ(vab::obs::json_number(0.1), "0.1");
+  EXPECT_EQ(vab::obs::json_number(2.5), "2.5");
+  EXPECT_EQ(vab::obs::json_number(1e100), "1e+100");
+  EXPECT_EQ(vab::obs::json_number(-0.0), "-0");
+  // A value "%.12g" would have truncated survives intact.
+  const double fine = std::nextafter(1.0, 2.0);
+  EXPECT_NE(vab::obs::json_number(fine), "1");
 }
 
 // --- metrics registry -------------------------------------------------------
@@ -131,6 +172,46 @@ TEST(ObsParallelMetrics, ConcurrentCounterAndHistogramUpdates) {
   EXPECT_NE(snap.find("\"conc.count\":" + std::to_string(2 * kN)), std::string::npos)
       << snap;
   EXPECT_NE(snap.find("\"count\":" + std::to_string(kN)), std::string::npos) << snap;
+}
+
+TEST(ObsParallelMetrics, GaugeLastWriteWinsUnderContention) {
+  // Gauges are global last-write-wins doubles: with many threads racing, the
+  // final value must be exactly one of the written values — never a blend,
+  // a torn read, or a stale zero.
+  for (const unsigned threads : {1U, 2U, 8U}) {
+    Registry reg;
+    const auto g = reg.gauge("lww.gauge");
+    g.set(-1.0);
+    vab::common::set_thread_count(threads);
+    vab::common::parallel_for(0, 4096, [&](std::size_t i) {
+      g.set(static_cast<double>(i));
+    });
+    vab::common::set_thread_count(0);
+    const std::string snap = reg.snapshot_json(false);
+    const auto at = snap.find("\"lww.gauge\":");
+    ASSERT_NE(at, std::string::npos) << snap;
+    const double v = std::strtod(snap.c_str() + at + 12, nullptr);
+    EXPECT_GE(v, 0.0) << snap;   // some iteration's write landed
+    EXPECT_LT(v, 4096.0) << snap;
+    EXPECT_EQ(v, std::floor(v)) << snap;  // exactly one write, not a blend
+  }
+}
+
+TEST(ObsDeterminismMetrics, GaugeLastWriteWinsIsDeterministicWhenValuesAgree) {
+  // The engine's own gauges rely on this: every thread writes the same
+  // value, so the snapshot is identical for any thread count.
+  auto run = [](unsigned threads) {
+    Registry reg;
+    const auto g = reg.gauge("det.lww.gauge");
+    vab::common::set_thread_count(threads);
+    vab::common::parallel_for(0, 2048, [&](std::size_t) { g.set(42.5); });
+    vab::common::set_thread_count(0);
+    return reg.snapshot_json(false);
+  };
+  const std::string s1 = run(1);
+  EXPECT_EQ(s1, run(2));
+  EXPECT_EQ(s1, run(8));
+  EXPECT_NE(s1.find("\"det.lww.gauge\":42.5"), std::string::npos) << s1;
 }
 
 TEST(ObsParallelMetrics, SnapshotWhileRecordingIsSafe) {
@@ -229,12 +310,25 @@ TEST_F(ObsTraceTest, DisabledTracingRecordsNothing) {
 
 TEST_F(ObsTraceTest, RingWrapKeepsNewestAndReportsDrops) {
   constexpr std::size_t kOver = 40000;  // > per-thread ring capacity (32768)
+  const std::uint64_t dropped_before =
+      Registry::global().counter_value("obs.trace.dropped");
   for (std::size_t i = 0; i < kOver; ++i)
     vab::obs::record_complete_event("wrap-span", "test", i, i + 1);
   EXPECT_LE(vab::obs::trace_event_count(), std::size_t{32768});
   const std::string json = vab::obs::trace_json();
   EXPECT_NE(json.find("\"droppedEvents\":" + std::to_string(kOver - 32768)),
             std::string::npos);
+  // Overwrites are observable as they happen (the live counter) and the
+  // export is explicitly marked as truncated.
+  EXPECT_EQ(Registry::global().counter_value("obs.trace.dropped") - dropped_before,
+            std::uint64_t{kOver - 32768});
+  EXPECT_NE(json.find("\"truncated\":true"), std::string::npos);
+}
+
+TEST_F(ObsTraceTest, UnwrappedTraceIsNotMarkedTruncated) {
+  { vab::obs::TraceSpan s("tidy-span"); }
+  const std::string json = vab::obs::trace_json();
+  EXPECT_NE(json.find("\"truncated\":false"), std::string::npos);
 }
 
 TEST_F(ObsTraceTest, ExportCarriesManifestAndThreadNames) {

@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
 """Validates the observability artifacts a bench run emits.
 
-Usage: check_obs.py METRICS_JSON TRACE_JSON
+Usage: check_obs.py METRICS_JSON [TRACE_JSON] [--series S.jsonl] [--profile P.json]
 
-Checks the metrics snapshot (schema vab-metrics-v1) and the Chrome trace
-(trace-event JSON as loaded by Perfetto / chrome://tracing):
-  - both parse and carry a complete run manifest,
+Checks the metrics snapshot (schema vab-metrics-v1), the Chrome trace
+(trace-event JSON as loaded by Perfetto / chrome://tracing), and optionally
+a vab-series-v1 JSONL stream and a vab-profile-v1 span aggregation:
+  - every artifact parses and carries a complete run manifest,
   - the metrics snapshot has the parallel-engine counters (worker busy/idle,
     queue-wait histogram) and at least one per-stage pipeline timing,
   - snapshot sections are alphabetically ordered (the determinism contract),
   - histograms are shape-consistent (len(counts) == len(bounds) + 1),
-  - the trace contains well-formed complete events.
+  - the trace contains well-formed complete events,
+  - series points have monotonic window numbers, finite virtual timestamps
+    and key-sorted label/value objects,
+  - profile stages are alphabetical with 0 <= self_ns <= total_ns and a
+    well-formed sorted folded-stack section.
 
 Exits non-zero with a message on the first violation.
 """
 
+import argparse
 import json
+import math
 import sys
 
 REQUIRED_MANIFEST_KEYS = ["build_type", "library", "threads", "version"]
@@ -116,12 +123,103 @@ def check_trace(path):
     print(f"check_obs: {path}: ok ({complete} spans, {len(names)} distinct names)")
 
 
+def check_series(path):
+    with open(path) as f:
+        lines = [line for line in f.read().splitlines() if line.strip()]
+    if not lines:
+        fail(f"{path}: series file is empty")
+    header = json.loads(lines[0])
+    if header.get("schema") != "vab-series-v1":
+        fail(f"{path}: header schema is {header.get('schema')!r}, "
+             "expected 'vab-series-v1'")
+    if not isinstance(header.get("stream"), str) or not header["stream"]:
+        fail(f"{path}: header missing a non-empty 'stream'")
+    check_manifest(header.get("manifest"), path)
+
+    prev_w = None
+    for i, line in enumerate(lines[1:], start=2):
+        p = json.loads(line)
+        for field in ("w", "t_s", "v"):
+            if field not in p:
+                fail(f"{path}:{i}: point missing '{field}'")
+        if not isinstance(p["w"], int) or p["w"] < 0:
+            fail(f"{path}:{i}: 'w' is not a non-negative integer")
+        if prev_w is not None and p["w"] < prev_w:
+            fail(f"{path}:{i}: window numbers regress ({p['w']} < {prev_w})")
+        prev_w = p["w"]
+        if not isinstance(p["t_s"], (int, float)) or not math.isfinite(p["t_s"]):
+            fail(f"{path}:{i}: 't_s' is not a finite number")
+        if not isinstance(p["v"], dict) or not p["v"]:
+            fail(f"{path}:{i}: 'v' is not a non-empty object")
+        for obj_name in ("labels", "v"):
+            if obj_name not in p:
+                continue
+            keys = list(p[obj_name].keys())
+            if keys != sorted(keys):
+                fail(f"{path}:{i}: '{obj_name}' keys are not sorted")
+    print(f"check_obs: {path}: ok ({len(lines) - 1} points, "
+          f"stream '{header['stream']}')")
+
+
+def check_profile(path):
+    with open(path) as f:
+        prof = json.load(f)
+    if prof.get("schema") != "vab-profile-v1":
+        fail(f"{path}: schema is {prof.get('schema')!r}, expected 'vab-profile-v1'")
+    check_manifest(prof.get("manifest"), path)
+    if not isinstance(prof.get("dropped"), int) or prof["dropped"] < 0:
+        fail(f"{path}: 'dropped' is not a non-negative integer")
+
+    stages = prof.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        fail(f"{path}: 'stages' missing or empty")
+    if list(stages.keys()) != sorted(stages.keys()):
+        fail(f"{path}: stage names are not alphabetically ordered")
+    for name, s in stages.items():
+        for field in ("calls", "total_ns", "self_ns"):
+            if not isinstance(s.get(field), int) or s[field] < 0:
+                fail(f"{path}: stage '{name}' field '{field}' is not a "
+                     "non-negative integer")
+        if s["calls"] < 1:
+            fail(f"{path}: stage '{name}' has zero calls")
+        if s["self_ns"] > s["total_ns"]:
+            fail(f"{path}: stage '{name}' self_ns {s['self_ns']} exceeds "
+                 f"total_ns {s['total_ns']}")
+
+    folded = prof.get("folded")
+    if not isinstance(folded, list):
+        fail(f"{path}: 'folded' missing")
+    paths = []
+    for entry in folded:
+        if (not isinstance(entry, list) or len(entry) != 2
+                or not isinstance(entry[0], str) or not entry[0]
+                or not isinstance(entry[1], int) or entry[1] < 0):
+            fail(f"{path}: malformed folded entry {entry!r}")
+        paths.append(entry[0])
+    if paths != sorted(paths):
+        fail(f"{path}: folded paths are not sorted")
+    print(f"check_obs: {path}: ok ({len(stages)} stages, "
+          f"{len(folded)} folded stacks)")
+
+
 def main():
-    if len(sys.argv) != 3:
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("metrics")
+    parser.add_argument("trace", nargs="?")
+    parser.add_argument("--series")
+    parser.add_argument("--profile")
+    try:
+        args = parser.parse_args()
+    except SystemExit:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    check_metrics(sys.argv[1])
-    check_trace(sys.argv[2])
+    check_metrics(args.metrics)
+    if args.trace:
+        check_trace(args.trace)
+    if args.series:
+        check_series(args.series)
+    if args.profile:
+        check_profile(args.profile)
     print("check_obs: all checks passed")
 
 

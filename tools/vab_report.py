@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""Renders a run's observability artifacts into a human-readable report,
+and diffs two runs at the metric level.
+
+A "run" is a directory holding any of `metrics.json` (vab-metrics-v1),
+`series.jsonl` (vab-series-v1) and `profile.json` (vab-profile-v1), or the
+artifacts can be named explicitly with --metrics/--series/--profile.
+
+Render:  vab_report.py RUN [--top N]
+Folded:  vab_report.py RUN --folded   (bare flamegraph.pl input, no report)
+Diff:    vab_report.py --diff RUN_A RUN_B
+
+The diff compares only the *deterministic* class of metrics — protocol
+counters, gauges, histograms, every series point, and profiler call counts.
+Timing and scheduling metrics (anything named *.ns / *_ns, and the
+parallel. / dsp.workspace. / dsp.fft.plan / obs.trace. /
+channel.noise.sigma_ namespaces) vary run to run by design and are skipped;
+manifest differences are reported as informational. Two identical-seed runs
+must therefore diff clean — CI uses exactly that as the telemetry
+determinism gate.
+
+Exit codes: 0 = rendered / no deltas, 1 = deltas found, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIMING_PREFIXES = (
+    "parallel.",
+    "dsp.workspace.",
+    "dsp.fft.plan",
+    "obs.trace.",
+    "channel.noise.sigma_",
+)
+
+
+def usage_error(msg):
+    print(f"vab_report: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def base_name(name):
+    """Metric name with any {k=v,...} label suffix stripped."""
+    return name.split("{", 1)[0]
+
+
+def parse_labels(name):
+    """Returns (base, {k: v}) for 'name{k=v,k2=v2}', ({} for plain names)."""
+    if "{" not in name or not name.endswith("}"):
+        return name, {}
+    base, raw = name.split("{", 1)
+    raw = raw[:-1]
+    if raw == "overflow":
+        return base, {"overflow": ""}
+    labels = {}
+    for part in raw.split(","):
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return base, labels
+
+
+def is_timing_metric(name):
+    b = base_name(name)
+    if b.endswith(".ns") or b.endswith("_ns"):
+        return True
+    return any(b.startswith(p) for p in TIMING_PREFIXES)
+
+
+def load_run(arg, metrics=None, series=None, profile=None):
+    """Resolves a run argument (directory or metrics file) plus overrides
+    into {'metrics': obj|None, 'series': [points]|None, 'profile': obj|None,
+    'name': str}."""
+    run = {"metrics": None, "series": None, "profile": None, "name": arg}
+    m_path, s_path, p_path = metrics, series, profile
+    if arg:
+        if os.path.isdir(arg):
+            m_path = m_path or os.path.join(arg, "metrics.json")
+            s_path = s_path or os.path.join(arg, "series.jsonl")
+            p_path = p_path or os.path.join(arg, "profile.json")
+            m_path = m_path if os.path.exists(m_path) else None
+            s_path = s_path if os.path.exists(s_path) else None
+            p_path = p_path if os.path.exists(p_path) else None
+        elif os.path.exists(arg):
+            m_path = m_path or arg
+        else:
+            usage_error(f"no such run: {arg}")
+    if m_path:
+        with open(m_path) as f:
+            run["metrics"] = json.load(f)
+    if s_path:
+        with open(s_path) as f:
+            run["series"] = [json.loads(line)
+                             for line in f.read().splitlines() if line.strip()]
+    if p_path:
+        with open(p_path) as f:
+            run["profile"] = json.load(f)
+    if not any((run["metrics"], run["series"], run["profile"])):
+        usage_error(f"run '{arg}' has no metrics.json/series.jsonl/profile.json")
+    return run
+
+
+# --- render ----------------------------------------------------------------
+
+
+def fmt_count(v):
+    return f"{v:,}" if isinstance(v, int) else f"{v:g}"
+
+
+def render_manifest(manifest):
+    print("manifest:")
+    for key in ("library", "version", "build_type", "threads", "seed"):
+        if key in manifest:
+            print(f"  {key:12s} {manifest[key]}")
+    cfg = {k: v for k, v in sorted(manifest.items()) if k.startswith("config.")}
+    for k, v in cfg.items():
+        print(f"  {k:12s} {v}")
+    print()
+
+
+def render_metrics(snap, top):
+    counters = snap.get("counters", {})
+    plain, families = {}, {}
+    for name, v in counters.items():
+        base, labels = parse_labels(name)
+        if labels:
+            families.setdefault(base, []).append((labels, v))
+        else:
+            plain[name] = v
+
+    print(f"counters ({len(counters)}):")
+    groups = {}
+    for name, v in plain.items():
+        groups.setdefault(name.split(".", 1)[0], []).append((name, v))
+    for group in sorted(groups):
+        for name, v in groups[group]:
+            print(f"  {name:44s} {fmt_count(v):>16s}")
+    print()
+
+    if families:
+        print("labeled breakdowns:")
+        for base in sorted(families):
+            total = sum(v for _, v in families[base])
+            print(f"  {base} (sum over {len(families[base])} series: "
+                  f"{fmt_count(total)})")
+            for labels, v in families[base]:
+                tag = ",".join(f"{k}={val}" if val else k
+                               for k, val in sorted(labels.items()))
+                print(f"    {{{tag}}}".ljust(44) + f" {fmt_count(v):>16s}")
+        print()
+
+    gauges = snap.get("gauges", {})
+    if gauges:
+        print(f"gauges ({len(gauges)}):")
+        for name, v in gauges.items():
+            print(f"  {name:44s} {fmt_count(v):>16s}")
+        print()
+
+    hists = snap.get("histograms", {})
+    if hists:
+        print(f"histograms ({len(hists)}):")
+        for name, h in hists.items():
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            print(f"  {name:44s} count={h['count']:,} mean={mean:,.0f}")
+        print()
+    del top
+
+
+def render_series(points, name):
+    if not points:
+        return
+    header, data = points[0], points[1:]
+    stream = header.get("stream", "?")
+    print(f"series '{stream}' ({len(data)} points) [{name}]:")
+    if not data:
+        print()
+        return
+    t_lo, t_hi = data[0].get("t_s", 0.0), data[-1].get("t_s", 0.0)
+    print(f"  windows {data[0].get('w')}..{data[-1].get('w')}, "
+          f"virtual time {t_lo:g}s..{t_hi:g}s")
+    sums = {}
+    for p in data:
+        for k, v in p.get("v", {}).items():
+            if isinstance(v, int):
+                sums[k] = sums.get(k, 0) + v
+    for k in sorted(sums):
+        print(f"  sum {k:40s} {sums[k]:>16,}")
+    print()
+
+
+def render_profile(prof, top):
+    stages = prof.get("stages", {})
+    if prof.get("dropped", 0):
+        print(f"profile: WARNING: {prof['dropped']} spans were dropped "
+              "(ring overflow); attribution is partial")
+    ranked = sorted(stages.items(), key=lambda kv: -kv[1]["self_ns"])[:top]
+    print(f"profile: top {len(ranked)} of {len(stages)} stages by self time:")
+    print(f"  {'stage':36s} {'calls':>10s} {'total_ms':>12s} {'self_ms':>12s}")
+    for name, s in ranked:
+        print(f"  {name:36s} {s['calls']:>10,} "
+              f"{s['total_ns'] / 1e6:>12.3f} {s['self_ns'] / 1e6:>12.3f}")
+    print()
+
+
+def render_folded(run):
+    # Bare "path self_ns" lines only, so the output pipes straight into
+    # flamegraph.pl without any report furniture mixed in.
+    prof = run["profile"]
+    if not prof:
+        usage_error(f"{run['name']}: no profile artifact for --folded")
+    for path, self_ns in prof.get("folded", []):
+        print(f"{path} {self_ns}")
+
+
+def render(run, top):
+    snap = run["metrics"]
+    if snap:
+        render_manifest(snap.get("manifest", {}))
+        render_metrics(snap, top)
+    if run["series"]:
+        render_series(run["series"], run["name"])
+    if run["profile"]:
+        if not snap:
+            render_manifest(run["profile"].get("manifest", {}))
+        render_profile(run["profile"], top)
+
+
+# --- diff ------------------------------------------------------------------
+
+
+class Diff:
+    def __init__(self):
+        self.deltas = 0
+
+    def report(self, what, a, b):
+        self.deltas += 1
+        print(f"DELTA {what}: {a!r} != {b!r}")
+
+    def info(self, msg):
+        print(f"note  {msg}")
+
+
+def diff_section(d, section, a, b):
+    keys_a = {k for k in a if not is_timing_metric(k)}
+    keys_b = {k for k in b if not is_timing_metric(k)}
+    for k in sorted(keys_a - keys_b):
+        d.report(f"{section} '{k}' only in first run", a[k], None)
+    for k in sorted(keys_b - keys_a):
+        d.report(f"{section} '{k}' only in second run", None, b[k])
+    for k in sorted(keys_a & keys_b):
+        if a[k] != b[k]:
+            d.report(f"{section} '{k}'", a[k], b[k])
+
+
+def diff_manifest(d, a, b):
+    for k in sorted(set(a) | set(b)):
+        if a.get(k) != b.get(k):
+            d.info(f"manifest '{k}' differs (informational): "
+                   f"{a.get(k)!r} vs {b.get(k)!r}")
+
+
+def diff_metrics(d, a, b):
+    diff_manifest(d, a.get("manifest", {}), b.get("manifest", {}))
+    diff_section(d, "counter", a.get("counters", {}), b.get("counters", {}))
+    diff_section(d, "gauge", a.get("gauges", {}), b.get("gauges", {}))
+    diff_section(d, "histogram", a.get("histograms", {}), b.get("histograms", {}))
+
+
+def diff_series(d, a, b):
+    ha, hb = a[0], b[0]
+    if ha.get("stream") != hb.get("stream"):
+        d.report("series stream", ha.get("stream"), hb.get("stream"))
+    diff_manifest(d, ha.get("manifest", {}), hb.get("manifest", {}))
+    pa, pb = a[1:], b[1:]
+    if len(pa) != len(pb):
+        d.report("series point count", len(pa), len(pb))
+    for i, (x, y) in enumerate(zip(pa, pb)):
+        if x != y:
+            d.report(f"series point {i}", x, y)
+            if d.deltas > 20:
+                d.info("more series deltas suppressed")
+                break
+
+
+def diff_profile(d, a, b):
+    if a.get("dropped", 0) or b.get("dropped", 0):
+        d.info("profile diff skipped: spans were dropped "
+               f"({a.get('dropped', 0)} vs {b.get('dropped', 0)})")
+        return
+    calls_a = {k: v["calls"] for k, v in a.get("stages", {}).items()}
+    calls_b = {k: v["calls"] for k, v in b.get("stages", {}).items()}
+    diff_section(d, "profile calls", calls_a, calls_b)
+
+
+def diff(run_a, run_b):
+    d = Diff()
+    for key, fn in (("metrics", diff_metrics), ("series", diff_series),
+                    ("profile", diff_profile)):
+        have_a, have_b = run_a[key] is not None, run_b[key] is not None
+        if have_a != have_b:
+            d.info(f"{key} present in only one run; skipped")
+        elif have_a:
+            fn(d, run_a[key], run_b[key])
+    if d.deltas:
+        print(f"vab_report: {d.deltas} metric delta(s) between "
+              f"'{run_a['name']}' and '{run_b['name']}'")
+        return 1
+    print(f"vab_report: no metric deltas between "
+          f"'{run_a['name']}' and '{run_b['name']}'")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("runs", nargs="*")
+    parser.add_argument("--diff", action="store_true")
+    parser.add_argument("--metrics")
+    parser.add_argument("--series")
+    parser.add_argument("--profile")
+    parser.add_argument("--top", type=int, default=12)
+    parser.add_argument("--folded", action="store_true")
+    parser.add_argument("-h", "--help", action="store_true")
+    try:
+        args = parser.parse_args()
+    except SystemExit:
+        usage_error("bad arguments (see --help)")
+    if args.help:
+        print(__doc__)
+        sys.exit(0)
+
+    if args.diff:
+        if len(args.runs) != 2:
+            usage_error("--diff needs exactly two runs")
+        sys.exit(diff(load_run(args.runs[0]), load_run(args.runs[1])))
+
+    if len(args.runs) > 1:
+        usage_error("render mode takes one run")
+    arg = args.runs[0] if args.runs else ""
+    if not arg and not (args.metrics or args.series or args.profile):
+        usage_error("nothing to render (pass a run dir or --metrics/...)")
+    run = load_run(arg, args.metrics, args.series, args.profile)
+    if args.folded:
+        render_folded(run)
+    else:
+        render(run, args.top)
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
