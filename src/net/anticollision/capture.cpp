@@ -1,0 +1,35 @@
+#include "net/anticollision/capture.hpp"
+
+#include <cmath>
+
+namespace vab::net::anticollision {
+
+std::optional<std::size_t> resolve_capture(const std::vector<double>& rx_powers,
+                                           const CaptureConfig& cfg) {
+  if (rx_powers.empty()) return std::nullopt;
+  if (rx_powers.size() == 1) return rx_powers[0] > 0.0
+                                        ? std::optional<std::size_t>(0)
+                                        : std::nullopt;
+  std::size_t best = 0;
+  double total = 0.0;
+  bool tied = false;
+  for (std::size_t i = 0; i < rx_powers.size(); ++i) {
+    total += rx_powers[i];
+    if (rx_powers[i] > rx_powers[best]) {
+      best = i;
+      tied = false;
+    } else if (i != best && rx_powers[i] == rx_powers[best]) {
+      tied = true;
+    }
+  }
+  // Equal-power replies jam each other regardless of the margin: neither
+  // preamble can lock the correlator.
+  if (tied || rx_powers[best] <= 0.0) return std::nullopt;
+  const double interference = (total - rx_powers[best]) + cfg.noise_power_rel;
+  if (interference <= 0.0) return best;  // lone nonzero reply, no noise
+  const double sinr_db = 10.0 * std::log10(rx_powers[best] / interference);
+  if (sinr_db >= cfg.margin_db) return best;
+  return std::nullopt;
+}
+
+}  // namespace vab::net::anticollision

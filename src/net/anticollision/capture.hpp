@@ -1,0 +1,36 @@
+// Capture effect for colliding backscatter replies.
+//
+// When several nodes reflect in one slot, the reader does not always lose
+// the slot: if one reply's power dominates the sum of the others plus noise
+// by a sufficient margin, its preamble locks the correlator and the slot
+// resolves to that node (the "capture effect" RFID Gen2 readers rely on at
+// high density). This module is the pure arbitration rule — who, if anyone,
+// wins a slot given the received powers — so the conformance suite can pin
+// it down independent of any MAC or channel model.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace vab::net::anticollision {
+
+struct CaptureConfig {
+  /// Minimum SINR (strongest reply over the sum of the other replies plus
+  /// noise) for the strongest reply to capture a multi-occupant slot, in dB.
+  double margin_db = 6.0;
+  /// Receiver noise power on the same relative scale as the reply powers.
+  double noise_power_rel = 0.0;
+};
+
+/// Arbitrates one slot. `rx_powers` holds the relative received power of
+/// each reply present in the slot (linear scale, >= 0). Returns the index
+/// of the winning reply: the sole occupant of a single-occupant slot (if
+/// its power is nonzero), or
+/// the strongest occupant of a multi-occupant slot when its SINR clears
+/// `cfg.margin_db` (ties never capture — equal-power replies jam each
+/// other). Returns nullopt for an empty slot or an unresolvable collision.
+std::optional<std::size_t> resolve_capture(const std::vector<double>& rx_powers,
+                                           const CaptureConfig& cfg);
+
+}  // namespace vab::net::anticollision

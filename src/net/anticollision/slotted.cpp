@@ -1,0 +1,120 @@
+#include "net/anticollision/slotted.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/obs.hpp"
+
+namespace vab::net::anticollision {
+
+namespace {
+// Slot-outcome accounting across all slotted runs: how contention resolves.
+struct SlottedMetrics {
+  obs::Counter slots = obs::counter("net.slotted.slots");
+  obs::Counter idle = obs::counter("net.slotted.idle");
+  obs::Counter success = obs::counter("net.slotted.success");
+  obs::Counter collision = obs::counter("net.slotted.collision");
+  obs::Counter capture = obs::counter("net.slotted.capture");
+  obs::Counter decode_fail = obs::counter("net.slotted.decode_fail");
+
+  static SlottedMetrics& get() {
+    static SlottedMetrics* m = new SlottedMetrics;  // leaked: read at exit
+    return *m;
+  }
+};
+
+double clamp_q(double q, const QConfig& cfg) {
+  return std::min(cfg.q_max, std::max(cfg.q_min, q));
+}
+}  // namespace
+
+QAdapter::QAdapter(const QConfig& cfg) : cfg_(cfg), qfp_(clamp_q(cfg.q_init, cfg)) {}
+
+std::uint8_t QAdapter::q() const {
+  return static_cast<std::uint8_t>(std::llround(qfp_));
+}
+
+void QAdapter::on_slot(SlotKind kind) {
+  switch (kind) {
+    case SlotKind::kCollision: qfp_ = clamp_q(qfp_ + cfg_.c_up, cfg_); break;
+    case SlotKind::kIdle: qfp_ = clamp_q(qfp_ - cfg_.c_down, cfg_); break;
+    case SlotKind::kSuccess:
+    case SlotKind::kCapture: break;
+  }
+}
+
+SlottedResult run_slotted_inventory(const std::vector<Contender>& contenders,
+                                    const QConfig& cfg, common::Rng& rng) {
+  SlottedResult res;
+  QAdapter adapter(cfg);
+  std::vector<std::size_t> unresolved;
+  unresolved.reserve(contenders.size());
+  for (std::size_t i = 0; i < contenders.size(); ++i) unresolved.push_back(i);
+
+  SlottedMetrics& m = SlottedMetrics::get();
+  while (!unresolved.empty() && res.rounds < cfg.max_rounds) {
+    const std::uint8_t round_q = adapter.q();
+    const std::size_t frame = adapter.frame_slots();
+    // Every unresolved contender draws its slot first, in ascending
+    // contender order: the documented draw schedule.
+    std::vector<std::vector<std::size_t>> occupants(frame);
+    for (std::size_t idx : unresolved) {
+      const auto slot = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(frame) - 1));
+      occupants[slot].push_back(idx);
+    }
+    // Then the reader walks the frame slot by slot.
+    for (std::size_t s = 0; s < frame; ++s) {
+      const std::vector<std::size_t>& occ = occupants[s];
+      SlotKind kind = SlotKind::kIdle;
+      std::uint16_t winner_id = 0;
+      if (!occ.empty()) {
+        std::vector<double> powers;
+        powers.reserve(occ.size());
+        for (std::size_t idx : occ) powers.push_back(contenders[idx].rx_power_rel);
+        const std::optional<std::size_t> won = resolve_capture(powers, cfg.capture);
+        if (!won.has_value()) {
+          kind = SlotKind::kCollision;
+        } else {
+          const std::size_t widx = occ[*won];
+          // The winning reply still has to decode at its link SNR; a failed
+          // decode is indistinguishable from a collision at the reader.
+          if (rng.coin(contenders[widx].delivery_prob)) {
+            kind = occ.size() == 1 ? SlotKind::kSuccess : SlotKind::kCapture;
+            winner_id = contenders[widx].id;
+            res.resolved.push_back(winner_id);
+            unresolved.erase(
+                std::find(unresolved.begin(), unresolved.end(), widx));
+          } else {
+            kind = SlotKind::kCollision;
+            ++res.decode_failures;
+            m.decode_fail.inc();
+          }
+        }
+      }
+      adapter.on_slot(kind);
+      ++res.slots;
+      m.slots.inc();
+      switch (kind) {
+        case SlotKind::kIdle: ++res.idle_slots; m.idle.inc(); break;
+        case SlotKind::kSuccess: ++res.success_slots; m.success.inc(); break;
+        case SlotKind::kCollision: ++res.collision_slots; m.collision.inc(); break;
+        case SlotKind::kCapture: ++res.capture_slots; m.capture.inc(); break;
+      }
+      if (cfg.record_trace)
+        res.trace.push_back({res.rounds, s, kind, occ.size(), winner_id});
+      // Gen2 QueryAdjust: once the accumulated evidence moves the integer Q,
+      // the reader cancels the rest of the frame and re-announces at the new
+      // size. Without this, a badly sized frame must be walked to the end
+      // and Qfp overshoots by the full frame's worth of updates (a 2^15-slot
+      // idle frame after one overloaded round).
+      if (adapter.q() != round_q) break;
+    }
+    ++res.rounds;
+  }
+  res.complete = unresolved.empty();
+  res.final_qfp = adapter.qfp();
+  return res;
+}
+
+}  // namespace vab::net::anticollision

@@ -21,47 +21,76 @@ PollOutcome poll_exchange(ReaderMac& reader, NodeMac& node,
                           LinkTransport& transport, fault::FaultInjector* fault,
                           common::Rng& rng, InventoryResult& res) {
   const MacTiming& t = cfg.timing;
+  // In MCS mode the slot window follows the commanded rung (slower rungs
+  // get longer slots); fixed-rate mode keeps the MacTiming values exactly.
+  const mcs::McsEntry* entry =
+      reader.mcs_enabled() ? reader.uplink_entry(node.address()) : nullptr;
+  const double slot_s =
+      entry ? entry->slot_duration_s(t.slot_payload_bytes) : t.slot_duration_s();
+  const double timeout_s = entry ? 1.5 * slot_s : t.reply_timeout_s();
+  // Feeds the poll outcome into the node's rate controller. Only polls that
+  // reached the uplink leg carry channel information: the reader's
+  // correlator measured the slot window, so even a failed decode yields an
+  // SNR sample when the transport measures one.
+  const auto observe = [&](bool delivered) {
+    if (entry == nullptr) return;
+    reader.observe_link(node.address(), transport.last_uplink_snr_db(), delivered);
+  };
   const Frame query = reader.make_query(node.address());
   ++res.polls;
   res.duration_s += downlink_duration_s(t, query);
 
   // Downlink: a duty-cycled node can sleep through the query, a dropped-out
   // node is dark for the whole exchange, and the transport may eat the
-  // query outright (the default transport never does).
+  // query outright (the default transport never does). A dark node tells
+  // the rate controller nothing, so these paths do not observe.
   if (fault && (fault->dropped_out() || fault->wake_missed())) {
-    res.duration_s += t.reply_timeout_s();
+    res.duration_s += timeout_s;
     return PollOutcome::kMiss;
   }
   if (!transport.downlink_delivered(node.address(), rng)) {
-    res.duration_s += t.reply_timeout_s();
+    res.duration_s += timeout_s;
     return PollOutcome::kMiss;
   }
 
   auto response = node.on_downlink(query, reading);
   if (!response) {
-    res.duration_s += t.reply_timeout_s();
+    res.duration_s += timeout_s;
     return PollOutcome::kMiss;
   }
-  res.duration_s += t.guard_s + t.slot_duration_s();
+  res.duration_s += t.guard_s + slot_s;
 
   // Uplink: the transport decides survival (clean-channel i.i.d. loss by
   // default, SNR-derived frame loss or a waveform decode in the fleet),
   // then burst loss, frame corruption, and clock skew pushing the reply
   // out of the reader's slot window.
   bytes wire = serialize(response->frame);
-  if (!transport.uplink_delivered(node.address(), wire, rng))
+  if (entry != nullptr) transport.set_uplink_mcs(node.address(), entry);
+  if (!transport.uplink_delivered(node.address(), wire, rng)) {
+    observe(false);
     return PollOutcome::kMiss;
-  if (fault && fault->reply_lost()) return PollOutcome::kMiss;
+  }
+  if (fault && fault->reply_lost()) {
+    observe(false);
+    return PollOutcome::kMiss;
+  }
   if (fault) {
-    if (fault->corrupt_frame(wire) == fault::FrameFate::kDropped)
+    if (fault->corrupt_frame(wire) == fault::FrameFate::kDropped) {
+      observe(false);
       return PollOutcome::kMiss;
-    const double skew = fault->clock_skew_s(t.slot_duration_s());
-    if (std::abs(skew) > t.reply_timeout_s() - t.slot_duration_s())
+    }
+    const double skew = fault->clock_skew_s(slot_s);
+    if (std::abs(skew) > timeout_s - slot_s) {
+      observe(false);
       return PollOutcome::kMiss;
+    }
   }
   const ParseResult parsed = parse_checked(wire);
-  if (!parsed.frame || parsed.frame->type != FrameType::kSensorReport)
+  if (!parsed.frame || parsed.frame->type != FrameType::kSensorReport) {
+    observe(false);
     return PollOutcome::kMiss;
+  }
+  observe(true);
 
   const ReaderMac::UplinkEvent ev = reader.on_report(*parsed.frame);
 
@@ -94,6 +123,10 @@ InventoryResult run_inventory(const std::vector<std::uint8_t>& population,
   std::vector<NodeMac> nodes;
   nodes.reserve(population.size());
   for (auto addr : population) nodes.emplace_back(addr, cfg.timing);
+  if (cfg.ladder != nullptr) {
+    reader.enable_mcs(*cfg.ladder, cfg.adapt);
+    for (auto& n : nodes) n.enable_mcs(*cfg.ladder);
+  }
 
   std::vector<std::size_t> pending(population.size());
   for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
@@ -160,7 +193,83 @@ InventoryResult run_inventory(const std::vector<std::uint8_t>& population,
   res.complete = res.delivered == res.nodes;
   res.duplicates = 0;
   for (const auto& [addr, st] : reader.stats()) res.duplicates += st.duplicates;
+  res.mcs_steps_up = reader.mcs_steps_up();
+  res.mcs_steps_down = reader.mcs_steps_down();
+  res.rung_polls = reader.rung_polls();
+  for (const auto& n : nodes) res.reconfigures += n.reconfigures();
   return res;
+}
+
+double TelemetryResult::goodput_bps() const {
+  if (totals.duration_s <= 0.0) return 0.0;
+  const double bits =
+      static_cast<double>(totals.delivered) * static_cast<double>(kReadingBytes) * 8.0;
+  return bits / totals.duration_s;
+}
+
+double TelemetryResult::jain_fairness() const {
+  if (delivered_per_node.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t d : delivered_per_node) {
+    const double x = static_cast<double>(d);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // nothing delivered anywhere: vacuously fair
+  return sum * sum / (static_cast<double>(delivered_per_node.size()) * sum_sq);
+}
+
+TelemetryResult run_telemetry(const std::vector<std::uint8_t>& population,
+                              std::size_t cycles, const InventoryConfig& cfg,
+                              fault::FaultInjector* fault, common::Rng& rng,
+                              LinkTransport* transport) {
+  if (population.empty()) throw std::invalid_argument("empty population");
+  VAB_STAGE("net.telemetry");
+
+  TelemetryResult tr;
+  tr.cycles = cycles;
+  tr.delivered_per_node.assign(population.size(), 0);
+  InventoryResult& res = tr.totals;
+  res.nodes = population.size();
+
+  ReaderMac reader(cfg.timing, cfg.arq);
+  std::vector<NodeMac> nodes;
+  nodes.reserve(population.size());
+  for (auto addr : population) nodes.emplace_back(addr, cfg.timing);
+  if (cfg.ladder != nullptr) {
+    reader.enable_mcs(*cfg.ladder, cfg.adapt);
+    for (auto& n : nodes) n.enable_mcs(*cfg.ladder);
+  }
+
+  IidLossTransport default_transport(cfg.reply_loss_prob, cfg.ack_loss_prob);
+  LinkTransport& medium = transport ? *transport : default_transport;
+
+  for (std::size_t c = 0; c < cycles; ++c) {
+    VAB_SPAN("net.telemetry.cycle");
+    ++res.rounds;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const SensorReading reading{12.0 + static_cast<double>(nodes[i].address()),
+                                  101.3, 2900};
+      const PollOutcome out =
+          poll_exchange(reader, nodes[i], reading, cfg, medium, fault, rng, res);
+      if (out == PollOutcome::kDelivered) {
+        ++res.delivered;
+        ++tr.delivered_per_node[i];
+      } else if (out == PollOutcome::kMiss) {
+        ++res.timeouts;
+      }
+    }
+  }
+
+  res.complete = true;
+  for (std::size_t d : tr.delivered_per_node) res.complete = res.complete && d > 0;
+  res.duplicates = 0;
+  for (const auto& [addr, st] : reader.stats()) res.duplicates += st.duplicates;
+  res.mcs_steps_up = reader.mcs_steps_up();
+  res.mcs_steps_down = reader.mcs_steps_down();
+  res.rung_polls = reader.rung_polls();
+  for (const auto& n : nodes) res.reconfigures += n.reconfigures();
+  return tr;
 }
 
 }  // namespace vab::net

@@ -18,11 +18,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "fault/fault.hpp"
 #include "net/mac.hpp"
+#include "net/mcs/adapt.hpp"
 #include "net/transport.hpp"
 
 namespace vab::net {
@@ -39,6 +41,12 @@ struct InventoryConfig {
   /// Hard bound on reader polls; an inventory that cannot complete (e.g.
   /// a permanently dark node) terminates here with complete = false.
   std::size_t max_polls = 4096;
+  /// Rate adaptation: when non-null, reader and nodes run the MCS ladder
+  /// (queries carry the commanded rung, uplink airtime and the transport's
+  /// delivery curve follow it). Null keeps every legacy code path — and
+  /// every seeded outcome — bit-identical.
+  const mcs::McsLadder* ladder = nullptr;
+  mcs::AdaptConfig adapt{};
 };
 
 struct InventoryResult {
@@ -56,6 +64,11 @@ struct InventoryResult {
   std::size_t rounds = 0;          ///< passes over the pending list
   double duration_s = 0.0;         ///< simulated airtime
   bool complete = false;           ///< every node delivered
+  /// MCS accounting (all zero when InventoryConfig::ladder is null).
+  std::size_t mcs_steps_up = 0;
+  std::size_t mcs_steps_down = 0;
+  std::size_t reconfigures = 0;    ///< node-side modem/FEC reconfigurations
+  std::map<std::size_t, std::size_t> rung_polls;  ///< polls per rung index
 
   double delivery_ratio() const {
     return nodes ? static_cast<double>(delivered) / static_cast<double>(nodes) : 0.0;
@@ -85,6 +98,29 @@ PollOutcome poll_exchange(ReaderMac& reader, NodeMac& node,
 /// from cfg.{reply_loss_prob, ack_loss_prob}.
 InventoryResult run_inventory(const std::vector<std::uint8_t>& population,
                               const InventoryConfig& cfg,
+                              fault::FaultInjector* fault, common::Rng& rng,
+                              LinkTransport* transport = nullptr);
+
+/// Multi-cycle telemetry collection: the rate-adaptation workload. One
+/// ReaderMac and one NodeMac per address persist across `cycles` polling
+/// sweeps (one poll per node per cycle, no intra-cycle retries — ARQ
+/// dedupe still recovers lost ACKs across cycles), so SNR/delivery EWMAs
+/// accumulate and rungs actually move. Fixed-rate runs use a null
+/// cfg.ladder; goodput and per-node delivery feed the EXT-6 fairness gate.
+struct TelemetryResult {
+  InventoryResult totals;  ///< protocol counters summed over all cycles
+  std::size_t cycles = 0;
+  std::vector<std::size_t> delivered_per_node;  ///< indexed like population
+
+  /// Application goodput: ACKed fresh readings x payload bits over airtime.
+  double goodput_bps() const;
+  /// Jain fairness index over per-node delivered counts (1 = perfectly
+  /// fair, 1/n = one node starves the rest).
+  double jain_fairness() const;
+};
+
+TelemetryResult run_telemetry(const std::vector<std::uint8_t>& population,
+                              std::size_t cycles, const InventoryConfig& cfg,
                               fault::FaultInjector* fault, common::Rng& rng,
                               LinkTransport* transport = nullptr);
 

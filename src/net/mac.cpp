@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/labels.hpp"
 #include "obs/obs.hpp"
 
 namespace vab::net {
@@ -18,6 +19,20 @@ struct ArqMetrics {
 
   static ArqMetrics& get() {
     static ArqMetrics* m = new ArqMetrics;  // leaked: read at exit
+    return *m;
+  }
+};
+
+// Rate-adaptation accounting: rung residency and step/reconfigure totals.
+struct McsMetrics {
+  obs::CounterFamily rung_polls{obs::Registry::global(), "net.mcs.rung_polls",
+                                mcs::kMaxRungs + 1};
+  obs::Counter steps_up = obs::counter("net.mcs.steps_up");
+  obs::Counter steps_down = obs::counter("net.mcs.steps_down");
+  obs::Counter reconfigures = obs::counter("net.mcs.reconfigures");
+
+  static McsMetrics& get() {
+    static McsMetrics* m = new McsMetrics;  // leaked: read at exit
     return *m;
   }
 };
@@ -55,6 +70,13 @@ std::optional<NodeMac::Response> NodeMac::on_downlink(const Frame& dl,
     }
     case FrameType::kQuery: {
       if (dl.addr != addr_ && dl.addr != kBroadcastAddr) return std::nullopt;
+      // MCS command byte: low nibble is the rung the reader wants the reply
+      // sent at. Nodes that never called enable_mcs ignore it.
+      if (ladder_ != nullptr && !dl.payload.empty()) {
+        const std::size_t commanded =
+            std::min<std::size_t>(dl.payload[0] & 0x0F, ladder_->size() - 1);
+        if (commanded != rung_) reconfigure(commanded);
+      }
       Response r;
       r.frame.addr = addr_;
       r.frame.type = FrameType::kSensorReport;
@@ -84,6 +106,21 @@ std::optional<NodeMac::Response> NodeMac::on_downlink(const Frame& dl,
   return std::nullopt;
 }
 
+void NodeMac::enable_mcs(const mcs::McsLadder& ladder) {
+  ladder_ = &ladder;
+  // Materialise the starting rung's modem/FEC state without counting it as
+  // a reconfiguration (nothing changed from the node's point of view).
+  rung_ = std::min(mcs::McsLadder::kPaperRung, ladder.size() - 1);
+  ladder.rung(rung_).apply(phy_cfg_, fec_cfg_);
+}
+
+void NodeMac::reconfigure(std::size_t rung) {
+  rung_ = rung;
+  ladder_->rung(rung_).apply(phy_cfg_, fec_cfg_);
+  ++reconfigures_;
+  McsMetrics::get().reconfigures.inc();
+}
+
 ReaderMac::ReaderMac(MacTiming timing, ArqConfig arq) : timing_(timing), arq_(arq) {}
 
 Frame ReaderMac::make_query(std::uint8_t addr) {
@@ -91,6 +128,10 @@ Frame ReaderMac::make_query(std::uint8_t addr) {
   f.addr = addr;
   f.type = FrameType::kQuery;
   f.seq = seq_++;
+  // In MCS mode the query carries the commanded rung; fixed-rate queries
+  // keep the legacy empty payload, bit-for-bit.
+  if (ladder_ != nullptr)
+    f.payload = {static_cast<std::uint8_t>(rung_of(addr) & 0x0F)};
   return f;
 }
 
@@ -174,6 +215,55 @@ void ReaderMac::demote(std::uint8_t addr) {
   arq_state_.erase(addr);
   ++stats_[addr].demotions;
   ArqMetrics::get().demotions.inc();
+  // Rate state is link state: a demoted node re-enters at the start rung
+  // after rediscovery, with fresh EWMAs.
+  controllers_.erase(addr);
+}
+
+void ReaderMac::enable_mcs(const mcs::McsLadder& ladder, mcs::AdaptConfig adapt) {
+  ladder_ = &ladder;
+  adapt_ = adapt;
+}
+
+mcs::RateController& ReaderMac::controller_for(std::uint8_t addr) {
+  auto it = controllers_.find(addr);
+  if (it == controllers_.end())
+    it = controllers_.emplace(addr, mcs::RateController(*ladder_, adapt_)).first;
+  return it->second;
+}
+
+std::size_t ReaderMac::rung_of(std::uint8_t addr) {
+  if (ladder_ == nullptr) return 0;
+  return controller_for(addr).rung();
+}
+
+const mcs::McsEntry* ReaderMac::uplink_entry(std::uint8_t addr) {
+  if (ladder_ == nullptr) return nullptr;
+  return &ladder_->rung(rung_of(addr));
+}
+
+void ReaderMac::observe_link(std::uint8_t addr, std::optional<double> snr_ref_db,
+                             bool delivered) {
+  if (ladder_ == nullptr) return;
+  mcs::RateController& ctl = controller_for(addr);
+  const std::size_t used = ctl.rung();  // the rung this poll actually ran at
+  ++rung_polls_[used];
+  McsMetrics::get()
+      .rung_polls.with({{"rung", ladder_->rung(used).name}})
+      .inc();
+  const int step = ctl.observe(snr_ref_db, delivered);
+  if (step > 0) {
+    ++mcs_steps_up_;
+    McsMetrics::get().steps_up.inc();
+  } else if (step < 0) {
+    ++mcs_steps_down_;
+    McsMetrics::get().steps_down.inc();
+  }
+}
+
+const mcs::RateController* ReaderMac::controller(std::uint8_t addr) const {
+  const auto it = controllers_.find(addr);
+  return it == controllers_.end() ? nullptr : &it->second;
 }
 
 }  // namespace vab::net

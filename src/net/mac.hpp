@@ -22,6 +22,7 @@
 
 #include "net/app.hpp"
 #include "net/frame.hpp"
+#include "net/mcs/adapt.hpp"
 
 namespace vab::net {
 
@@ -71,12 +72,31 @@ class NodeMac {
   /// True while a report is outstanding (sent but not yet ACKed).
   bool awaiting_ack() const { return awaiting_ack_; }
 
+  /// Opts this node into MCS commands: queries may carry a rung index, and
+  /// the node reconfigures its modem/FEC state when the commanded rung
+  /// changes (the dragonradio reconfigure-on-change pattern). Without this
+  /// call, MCS bytes in a query are ignored and behaviour is unchanged.
+  void enable_mcs(const mcs::McsLadder& ladder);
+  bool mcs_enabled() const { return ladder_ != nullptr; }
+  std::size_t current_rung() const { return rung_; }
+  /// Modem/FEC reconfigurations performed (counted only on rung *change*).
+  std::size_t reconfigures() const { return reconfigures_; }
+  const phy::PhyConfig& phy_config() const { return phy_cfg_; }
+  const phy::FecConfig& fec_config() const { return fec_cfg_; }
+
  private:
+  void reconfigure(std::size_t rung);
+
   std::uint8_t addr_;
   MacTiming timing_;
   std::uint8_t slot_;  ///< TDMA slot index; defaults to address
   std::uint8_t seq_ = 0;
   bool awaiting_ack_ = false;
+  const mcs::McsLadder* ladder_ = nullptr;
+  std::size_t rung_ = 0;
+  std::size_t reconfigures_ = 0;
+  phy::PhyConfig phy_cfg_;
+  phy::FecConfig fec_cfg_;
 };
 
 /// Reader-side MAC: issues queries, assigns slots, ACKs reports, schedules
@@ -144,6 +164,31 @@ class ReaderMac {
   const MacTiming& timing() const { return timing_; }
   const ArqConfig& arq() const { return arq_; }
 
+  /// Turns on per-node rate adaptation: queries carry the commanded rung,
+  /// `observe_link` feeds each node's RateController, and `uplink_entry`
+  /// exposes the rung the transport should evaluate. Without this call the
+  /// reader is fixed-rate and wire format / statistics are unchanged.
+  void enable_mcs(const mcs::McsLadder& ladder, mcs::AdaptConfig adapt = {});
+  bool mcs_enabled() const { return ladder_ != nullptr; }
+  /// Rung currently commanded for `addr` (creates the controller lazily at
+  /// the adapt config's start rung).
+  std::size_t rung_of(std::uint8_t addr);
+  /// Ladder entry for `addr`'s next uplink, or nullptr when MCS is off.
+  const mcs::McsEntry* uplink_entry(std::uint8_t addr);
+  /// Feeds one poll outcome (and the transport's SNR measurement, if any)
+  /// into `addr`'s rate controller; steps the rung when the controller
+  /// crosses a threshold. Per-rung residency and step counts land in obs.
+  void observe_link(std::uint8_t addr, std::optional<double> snr_ref_db,
+                    bool delivered);
+  std::size_t mcs_steps_up() const { return mcs_steps_up_; }
+  std::size_t mcs_steps_down() const { return mcs_steps_down_; }
+  /// Polls observed per rung index, across all nodes.
+  const std::map<std::size_t, std::size_t>& rung_polls() const {
+    return rung_polls_;
+  }
+  /// Read-only view of a node's controller (nullptr before first contact).
+  const mcs::RateController* controller(std::uint8_t addr) const;
+
  private:
   struct ArqState {
     bool have_seq = false;
@@ -151,11 +196,19 @@ class ReaderMac {
     std::size_t consecutive_misses = 0;
   };
 
+  mcs::RateController& controller_for(std::uint8_t addr);
+
   MacTiming timing_;
   ArqConfig arq_;
   std::uint8_t seq_ = 0;
   std::map<std::uint8_t, NodeStats> stats_;
   std::map<std::uint8_t, ArqState> arq_state_;
+  const mcs::McsLadder* ladder_ = nullptr;
+  mcs::AdaptConfig adapt_;
+  std::map<std::uint8_t, mcs::RateController> controllers_;
+  std::map<std::size_t, std::size_t> rung_polls_;
+  std::size_t mcs_steps_up_ = 0;
+  std::size_t mcs_steps_down_ = 0;
 };
 
 }  // namespace vab::net

@@ -1,0 +1,92 @@
+#include "net/mcs/adapt.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace vab::net::mcs {
+
+RateController::RateController(const McsLadder& ladder, AdaptConfig cfg)
+    : ladder_(&ladder), cfg_(cfg) {
+  sustain_snr_db_.reserve(ladder.size());
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    sustain_snr_db_.push_back(
+        ladder.snr_for_delivery(r, cfg_.target_delivery, cfg_.frame_bits));
+  }
+  rung_ = std::min(cfg_.start_rung, ladder.size() - 1);
+  delivery_ewma_ = cfg_.target_delivery;
+}
+
+double RateController::down_threshold_db(std::size_t rung_index) const {
+  if (rung_index == 0) return -std::numeric_limits<double>::infinity();
+  return sustain_snr_db_[rung_index];
+}
+
+double RateController::up_threshold_db(std::size_t rung_index) const {
+  if (rung_index + 1 >= sustain_snr_db_.size())
+    return std::numeric_limits<double>::infinity();
+  return sustain_snr_db_[rung_index + 1] + cfg_.hysteresis_db;
+}
+
+int RateController::observe(std::optional<double> snr_ref_db, bool delivered) {
+  ++polls_;
+  if (snr_ref_db.has_value()) {
+    if (snr_ewma_.has_value()) {
+      *snr_ewma_ += cfg_.ewma_alpha * (*snr_ref_db - *snr_ewma_);
+    } else {
+      snr_ewma_ = *snr_ref_db;
+    }
+  }
+  const double sample = delivered ? 1.0 : 0.0;
+  if (have_outcome_) {
+    delivery_ewma_ += cfg_.ewma_alpha * (sample - delivery_ewma_);
+  } else {
+    delivery_ewma_ = sample;
+    have_outcome_ = true;
+  }
+  return try_step();
+}
+
+int RateController::try_step() {
+  if (cfg_.frozen) return 0;
+  if (polls_ - polls_at_change_ < cfg_.min_dwell_polls) return 0;
+  int dir = 0;
+  if (snr_ewma_.has_value()) {
+    if (*snr_ewma_ < down_threshold_db(rung_)) {
+      dir = -1;
+    } else if (*snr_ewma_ > up_threshold_db(rung_)) {
+      dir = +1;
+    }
+  } else if (have_outcome_) {
+    // Outcome path: the delivery EWMA stands in for a BER estimate.
+    if (delivery_ewma_ < cfg_.outcome_down_below && rung_ > 0) {
+      dir = -1;
+    } else if (delivery_ewma_ > cfg_.outcome_up_above &&
+               rung_ + 1 < ladder_->size()) {
+      dir = +1;
+    }
+  }
+  if (dir == 0) return 0;
+  rung_ = static_cast<std::size_t>(static_cast<long>(rung_) + dir);
+  polls_at_change_ = polls_;
+  if (dir > 0) {
+    ++steps_up_;
+    // A just-promoted rung has no delivery history; seed the EWMA at the
+    // target so one stale low sample cannot immediately bounce it back.
+    if (!snr_ewma_.has_value()) delivery_ewma_ = cfg_.target_delivery;
+  } else {
+    ++steps_down_;
+    if (!snr_ewma_.has_value()) delivery_ewma_ = cfg_.target_delivery;
+  }
+  return dir;
+}
+
+void RateController::reset() {
+  rung_ = std::min(cfg_.start_rung, ladder_->size() - 1);
+  snr_ewma_.reset();
+  delivery_ewma_ = cfg_.target_delivery;
+  have_outcome_ = false;
+  polls_ = 0;
+  polls_at_change_ = 0;
+}
+
+}  // namespace vab::net::mcs

@@ -14,11 +14,16 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 
 namespace vab::net {
+
+namespace mcs {
+struct McsEntry;
+}  // namespace mcs
 
 /// Decides the fate of each leg of one reader<->node exchange.
 class LinkTransport {
@@ -37,6 +42,21 @@ class LinkTransport {
 
   /// True when the reader's ACK downlink reaches the node.
   virtual bool ack_delivered(std::uint8_t addr, common::Rng& rng) = 0;
+
+  /// Rate-adaptation seam: the MAC announces the MCS rung the next uplink
+  /// from `addr` will use (nullptr = the model's fixed default). SNR-aware
+  /// transports evaluate that rung's delivery curve; the base class ignores
+  /// the hint so legacy models are unaffected.
+  virtual void set_uplink_mcs(std::uint8_t addr, const mcs::McsEntry* entry) {
+    (void)addr;
+    (void)entry;
+  }
+
+  /// Link SNR (reference scale, dB) the most recent uplink_delivered call
+  /// for any address was evaluated at, when the model measures one. The
+  /// MAC feeds this into per-node rate controllers; loss-coin models return
+  /// nullopt and the controller falls back to delivery-outcome feedback.
+  virtual std::optional<double> last_uplink_snr_db() const { return std::nullopt; }
 };
 
 /// The historical clean-channel model: independent loss coins per leg, with

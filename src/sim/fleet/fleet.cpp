@@ -20,6 +20,7 @@ constexpr std::uint64_t kStreamReaders = 0xD05E5;
 // Per-(reader, window) sub-streams.
 constexpr std::uint64_t kStreamPolls = 0;
 constexpr std::uint64_t kStreamWaveform = 1;
+constexpr std::uint64_t kStreamSlotted = 2;
 
 constexpr std::uint32_t kEventStartWindow = 0;
 
@@ -105,6 +106,7 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
   for (std::size_t r = 0; r < cfg.n_readers; ++r) {
     transports.push_back(std::make_unique<FleetLinkTransport>(
         cfg.scenario, cfg.fidelity, cfg.contention_penalty_db, wire_bits));
+    if (cfg.mac_mode == MacMode::kSlotted) transports.back()->set_slotted_mode(true);
   }
   if (!transports.empty()) res.waterfall_snr_db = transports[0]->waterfall_snr_db();
 
@@ -168,9 +170,50 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
     const common::Rng window_rng = rng.child(kStreamReaders + r).child(w);
     transports[r]->begin_window(std::move(links), window_rng.child(kStreamWaveform));
     transports[r]->set_contention(contenders);
-    common::Rng poll_rng = window_rng.child(kStreamPolls);
-    const net::InventoryResult wres = net::run_inventory(
-        population, cfg.inventory, nullptr, poll_rng, transports[r].get());
+
+    double acquisition_s = 0.0;
+    if (cfg.mac_mode == MacMode::kSlotted) {
+      // Slotted acquisition: this window's nodes contend for slots before
+      // any ARQ poll; only resolved nodes enter the inventory. Replaces the
+      // flat SINR penalty (withheld via set_slotted_mode) at slot
+      // granularity.
+      const std::vector<FleetLinkTransport::LinkInfo>& wl = transports[r]->links();
+      std::vector<net::anticollision::Contender> contenders_in;
+      contenders_in.reserve(wl.size());
+      for (std::size_t k = 0; k < wl.size(); ++k) {
+        net::anticollision::Contender c;
+        c.id = static_cast<std::uint16_t>(k);
+        c.rx_power_rel = std::pow(10.0, wl[k].snr_db / 10.0);
+        c.delivery_prob =
+            FleetLinkTransport::frame_delivery_prob(wl[k].snr_db, wire_bits);
+        contenders_in.push_back(c);
+      }
+      common::Rng slot_rng = window_rng.child(kStreamSlotted);
+      const net::anticollision::SlottedResult sres =
+          net::anticollision::run_slotted_inventory(contenders_in, cfg.slotted,
+                                                    slot_rng);
+      res.slot_total += sres.slots;
+      res.slot_idle += sres.idle_slots;
+      res.slot_success += sres.success_slots;
+      res.slot_collision += sres.collision_slots;
+      res.slot_capture += sres.capture_slots;
+      res.slotted_unresolved += contenders_in.size() - sres.resolved.size();
+      // Acquisition slots are short RN16-style exchanges; charge each one
+      // a reply-slot of airtime on the window clock.
+      acquisition_s = static_cast<double>(sres.slots) *
+                      cfg.inventory.timing.slot_duration_s();
+      population.clear();
+      for (const std::uint16_t id : sres.resolved)
+        population.push_back(static_cast<std::uint8_t>(id));
+    }
+
+    net::InventoryResult wres;
+    if (!population.empty()) {
+      common::Rng poll_rng = window_rng.child(kStreamPolls);
+      wres = net::run_inventory(population, cfg.inventory, nullptr, poll_rng,
+                                transports[r].get());
+    }
+    wres.duration_s += acquisition_s;
 
     ++res.windows;
     windows_ctr.add(1);
@@ -184,6 +227,9 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
     res.acks_sent += wres.acks_sent;
     res.acks_lost += wres.acks_lost;
     res.demotions += wres.demotions;
+    res.mcs_steps_up += wres.mcs_steps_up;
+    res.mcs_steps_down += wres.mcs_steps_down;
+    res.reconfigures += wres.reconfigures;
     res.airtime_s += wres.duration_s;
 
     const obs::LabelSet reader_label{{"reader", std::to_string(r)}};
@@ -242,6 +288,21 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
         res.tally.escalations_marginal, res.tally.escalations_contention,
         res.tally.waveform_cap_hits, res.tally.contended_polls}) {
     h = fnv1a(h, static_cast<std::uint64_t>(v));
+  }
+  // Feature-gated counters fold in only when their feature is on, so every
+  // historical digest (penalty MAC, no ladder) is byte-identical.
+  if (cfg.mac_mode == MacMode::kSlotted) {
+    for (const std::size_t v :
+         {res.slot_total, res.slot_idle, res.slot_success, res.slot_collision,
+          res.slot_capture, res.slotted_unresolved}) {
+      h = fnv1a(h, static_cast<std::uint64_t>(v));
+    }
+  }
+  if (cfg.inventory.ladder != nullptr) {
+    for (const std::size_t v :
+         {res.mcs_steps_up, res.mcs_steps_down, res.reconfigures}) {
+      h = fnv1a(h, static_cast<std::uint64_t>(v));
+    }
   }
   res.digest = fnv1a(h, res.complete ? 1 : 0);
   return res;

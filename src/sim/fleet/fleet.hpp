@@ -34,12 +34,25 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/anticollision/slotted.hpp"
 #include "net/inventory.hpp"
 #include "sim/fleet/medium.hpp"
 #include "sim/fleet/transport.hpp"
 #include "sim/scenario.hpp"
 
 namespace vab::sim::fleet {
+
+/// How a window's contention is modelled.
+enum class MacMode : std::uint8_t {
+  /// Historical model: a flat SINR penalty per concurrent in-range reader,
+  /// applied to every poll of the window by FleetLinkTransport.
+  kSinrPenalty,
+  /// Slotted Q-style acquisition (net::anticollision) runs first: nodes
+  /// contend for slots, collisions resolve via Q-adaptation and capture,
+  /// and only *resolved* nodes are ARQ-polled — with the transport's SINR
+  /// penalty withheld (the two contention models are mutually exclusive).
+  kSlotted,
+};
 
 /// Usable MAC addresses per address-reuse window (8-bit space minus the
 /// broadcast address, minus headroom for discovery/control addresses).
@@ -79,7 +92,12 @@ struct FleetConfig {
   /// Reader-to-reader distance within which concurrent windows contend.
   double interference_range_m = 500.0;
   /// SINR penalty per concurrent in-range exchange (dB, budget model).
+  /// Applied only in MacMode::kSinrPenalty.
   double contention_penalty_db = 3.0;
+  /// Contention model; kSinrPenalty reproduces every historical digest.
+  MacMode mac_mode = MacMode::kSinrPenalty;
+  /// Slotted-acquisition parameters (MacMode::kSlotted only).
+  net::anticollision::QConfig slotted{};
   FidelityPolicy fidelity{};
   /// MAC timing / ARQ / poll budget applied per address window.
   net::InventoryConfig inventory{};
@@ -111,6 +129,18 @@ struct FleetResult {
   std::size_t windows = 0;  ///< address windows inventoried
   std::size_t events = 0;   ///< events popped from the queue
   std::size_t contended_windows = 0;
+  /// Slotted-MAC accounting (all zero in MacMode::kSinrPenalty; folded into
+  /// the digest only in kSlotted so historical digests are untouched).
+  std::size_t slot_total = 0;
+  std::size_t slot_idle = 0;
+  std::size_t slot_success = 0;
+  std::size_t slot_collision = 0;
+  std::size_t slot_capture = 0;
+  std::size_t slotted_unresolved = 0;  ///< contenders unresolved at window end
+  /// MCS accounting (all zero without a ladder; digest-folded only then).
+  std::size_t mcs_steps_up = 0;
+  std::size_t mcs_steps_down = 0;
+  std::size_t reconfigures = 0;
   PollTally tally;              ///< fidelity/escalation accounting
   double makespan_s = 0.0;      ///< virtual time when the last reader went idle
   double airtime_s = 0.0;       ///< summed exchange airtime across readers

@@ -61,8 +61,14 @@ void FleetLinkTransport::begin_window(std::vector<LinkInfo> links,
   links_ = std::move(links);
   for (LinkInfo& l : links_) l.snr_db = budget_.evaluate(l.range_m).snr_chip_db;
   wave_ = std::vector<std::unique_ptr<WaveLink>>(links_.size());
+  mcs_.assign(links_.size(), nullptr);
   wave_stream_ = wave_stream;
   contention_ = 0;
+}
+
+void FleetLinkTransport::set_uplink_mcs(std::uint8_t addr,
+                                        const net::mcs::McsEntry* entry) {
+  if (addr < mcs_.size()) mcs_[addr] = entry;
 }
 
 FleetLinkTransport::WaveLink& FleetLinkTransport::wave_link(std::uint8_t addr) {
@@ -129,23 +135,36 @@ bool FleetLinkTransport::uplink_delivered(std::uint8_t addr, bytes& wire,
   // The SINR penalty for concurrent in-range exchanges applies to both
   // fidelities' escalation decision; the budget path also folds it into the
   // delivery draw (the waveform path models interference via its own noise).
-  const double snr_eff =
-      link.snr_db - static_cast<double>(contention_) * contention_penalty_db_;
-  last_fidelity_ = choose_fidelity(snr_eff);
+  // In slotted-MAC mode the penalty is withheld: contention has already been
+  // resolved per slot, and double-charging it here was the seam this flag
+  // closes.
+  const double penalty_db =
+      slotted_mode_ ? 0.0
+                    : static_cast<double>(contention_) * contention_penalty_db_;
+  const double snr_eff = link.snr_db - penalty_db;
+  const net::mcs::McsEntry* entry = mcs_[addr];
+  // The waveform pipeline runs the scenario's fixed PHY config, so a
+  // commanded rung (whose curve the MAC is adapting against) pins budget
+  // fidelity instead of silently decoding at the wrong rate.
+  last_fidelity_ = entry != nullptr ? Fidelity::kBudget : choose_fidelity(snr_eff);
 
   if (last_fidelity_ == Fidelity::kBudget) {
     ++tally_.budget_polls;
     static const obs::Counter polls = obs::counter("fleet.polls_budget");
     polls.add(1);
     const double fade = rng.gaussian(0.0, base_.env.fading_sigma_db);
+    last_snr_db_ = snr_eff + fade;
     const double p =
-        frame_delivery_prob(snr_eff + fade, wire.size() * 8);
+        entry != nullptr
+            ? entry->frame_delivery_prob(snr_eff + fade, wire.size() * 8)
+            : frame_delivery_prob(snr_eff + fade, wire.size() * 8);
     return rng.coin(p);
   }
 
   ++tally_.waveform_polls;
   static const obs::Counter polls = obs::counter("fleet.polls_waveform");
   polls.add(1);
+  last_snr_db_ = snr_eff;  // the budget estimate; the waveform draw is implicit
   WaveLink& wl = wave_link(addr);
   bitvec tx_bits;
   bytes_to_bits(wire, tx_bits);

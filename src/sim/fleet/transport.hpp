@@ -21,6 +21,9 @@
 #include <memory>
 #include <vector>
 
+#include <optional>
+
+#include "net/mcs/mcs.hpp"
 #include "net/transport.hpp"
 #include "sim/linkbudget.hpp"
 #include "sim/scenario.hpp"
@@ -84,13 +87,30 @@ class FleetLinkTransport final : public net::LinkTransport {
   /// being polled next; reset before every poll by the fleet engine.
   void set_contention(std::size_t contenders) { contention_ = contenders; }
 
+  /// Declares that a real slotted MAC arbitrates this window's contention.
+  /// The flat per-contender SINR penalty and the slotted MAC model the same
+  /// physics (concurrent in-range exchanges), so they are mutually
+  /// exclusive: in slotted mode the penalty is NOT applied — collisions are
+  /// resolved per slot upstream — while contended polls are still tallied
+  /// and still eligible for waveform escalation.
+  void set_slotted_mode(bool on) { slotted_mode_ = on; }
+  bool slotted_mode() const { return slotted_mode_; }
+
   bool downlink_delivered(std::uint8_t addr, common::Rng& rng) override;
   bool uplink_delivered(std::uint8_t addr, bytes& wire, common::Rng& rng) override;
   bool ack_delivered(std::uint8_t addr, common::Rng& rng) override;
 
+  /// MCS seam: a commanded rung reroutes the budget path through that
+  /// rung's analytic delivery curve (the waveform pipeline models only the
+  /// scenario's fixed PHY, so MCS-commanded polls pin budget fidelity).
+  void set_uplink_mcs(std::uint8_t addr, const net::mcs::McsEntry* entry) override;
+  std::optional<double> last_uplink_snr_db() const override { return last_snr_db_; }
+
   const PollTally& tally() const { return tally_; }
   Fidelity last_fidelity() const { return last_fidelity_; }
   double waterfall_snr_db() const { return waterfall_snr_db_; }
+  /// Active window's links with their budget SNRs (filled by begin_window).
+  const std::vector<LinkInfo>& links() const { return links_; }
 
   /// Budget chip SNR -> frame delivery probability for `bits` wire bits.
   static double frame_delivery_prob(double snr_db, std::size_t bits);
@@ -112,10 +132,13 @@ class FleetLinkTransport final : public net::LinkTransport {
   LinkBudget budget_;
   std::vector<LinkInfo> links_;
   std::vector<std::unique_ptr<WaveLink>> wave_;  ///< lazy, per window addr
+  std::vector<const net::mcs::McsEntry*> mcs_;   ///< commanded rung, per addr
   common::Rng wave_stream_{0};
   std::size_t contention_ = 0;
+  bool slotted_mode_ = false;
   PollTally tally_;
   Fidelity last_fidelity_ = Fidelity::kBudget;
+  std::optional<double> last_snr_db_;
 };
 
 }  // namespace vab::sim::fleet

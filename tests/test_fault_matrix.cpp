@@ -11,6 +11,10 @@
 //     outcomes (delivery ratio, rounds-to-complete, retry counts) must be
 //     bit-identical for every thread count, and the zero-fault path must be
 //     bit-identical to a run with no injector at all.
+//  4. The MCS dimension — every ARQ edge case re-runs pinned to the lowest
+//     and highest ladder rung, and a {fault kind} x {rung} x {1/2/8
+//     threads} matrix pins that fault outcomes are rung-independent where
+//     they should be (the injector and the ARQ never consult the rate).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -22,6 +26,7 @@
 #include "fault/fault.hpp"
 #include "net/discovery.hpp"
 #include "net/inventory.hpp"
+#include "net/mcs/transport.hpp"
 #include "sim/scenario.hpp"
 #include "sim/waveform_sim.hpp"
 
@@ -500,6 +505,213 @@ TEST(ZeroFaultIdentity, WaveformTrialMatchesEmptyPlanScenario) {
 // ---------------------------------------------------------------------------
 // 5. Impairment actually degrades the waveform link (sanity of the hook)
 // ---------------------------------------------------------------------------
+
+// ---------------------------------------------------------------------------
+// 6. The MCS dimension: ARQ edge cases and the fault matrix, rung-pinned
+// ---------------------------------------------------------------------------
+
+const net::mcs::McsLadder& shared_ladder() {
+  static const net::mcs::McsLadder* l =
+      new net::mcs::McsLadder(net::mcs::McsLadder::default_ladder());
+  return *l;
+}
+
+std::size_t top_rung() { return shared_ladder().size() - 1; }
+
+/// Inventory config pinned (frozen controller) to one ladder rung.
+InventoryConfig rung_pinned_config(std::size_t rung) {
+  InventoryConfig cfg;
+  cfg.ladder = &shared_ladder();
+  cfg.adapt.frozen = true;
+  cfg.adapt.start_rung = rung;
+  return cfg;
+}
+
+/// High-SNR analytic transport: every rung's curve is in its clean region,
+/// so channel loss comes only from the explicit erasure knobs and the fault
+/// injector — the rung cannot influence outcomes except via airtime.
+net::mcs::AnalyticMcsTransport clean_mcs_transport(double reply_loss = 0.0,
+                                                   double ack_loss = 0.0) {
+  net::mcs::AnalyticMcsConfig tcfg;
+  tcfg.snr_ref_db = 25.0;
+  tcfg.fading_sigma_db = 0.0;
+  tcfg.reply_loss_prob = reply_loss;
+  tcfg.ack_loss_prob = ack_loss;
+  return net::mcs::AnalyticMcsTransport(shared_ladder(), tcfg);
+}
+
+TEST(ArqEdgeCasesAtRungs, LostAckDeduplicatesOnSeqAtBothExtremes) {
+  for (const std::size_t rung : {std::size_t{0}, top_rung()}) {
+    common::Rng rng(2);
+    const InventoryConfig cfg = rung_pinned_config(rung);
+    auto tp = clean_mcs_transport(0.0, 1.0);  // every ACK lost
+    const auto res = run_inventory(make_population(5), cfg, nullptr, rng, &tp);
+    EXPECT_TRUE(res.complete) << "rung " << rung;
+    EXPECT_EQ(res.delivered, 5u) << "rung " << rung;
+    EXPECT_EQ(res.acks_lost, res.acks_sent) << "rung " << rung;
+    EXPECT_EQ(res.duplicates, 0u) << "rung " << rung;
+  }
+}
+
+TEST(ArqEdgeCasesAtRungs, RetryBudgetExhaustionParksAndRecoversAtBothExtremes) {
+  for (const std::size_t rung : {std::size_t{0}, top_rung()}) {
+    common::Rng rng(4);
+    InventoryConfig cfg = rung_pinned_config(rung);
+    cfg.arq.max_retries = 1;
+    cfg.arq.demote_after_misses = 50;
+    FaultInjector inj(burst_plan(0.5, 0xBAD));
+    auto tp = clean_mcs_transport();
+    const auto res = run_inventory(make_population(10), cfg, &inj, rng, &tp);
+    EXPECT_TRUE(res.complete) << "rung " << rung;
+    EXPECT_GT(res.budget_exhaustions, 0u) << "rung " << rung;
+    EXPECT_GT(res.rounds, 1u) << "rung " << rung;
+  }
+}
+
+TEST(ArqEdgeCasesAtRungs, DemotionThenRediscoveryCompletesAtBothExtremes) {
+  for (const std::size_t rung : {std::size_t{0}, top_rung()}) {
+    common::Rng rng(6);
+    InventoryConfig cfg = rung_pinned_config(rung);
+    cfg.arq.max_retries = 6;
+    cfg.arq.demote_after_misses = 2;
+    FaultPlan plan;
+    plan.seed = 0xDE40;
+    plan.burst.p_good_to_bad = 0.5;
+    plan.burst.p_bad_to_good = 0.15;
+    plan.burst.loss_good = 0.0;
+    plan.burst.loss_bad = 1.0;
+    FaultInjector inj(plan);
+    auto tp = clean_mcs_transport();
+    const auto res = run_inventory(make_population(10), cfg, &inj, rng, &tp);
+    EXPECT_TRUE(res.complete) << "rung " << rung;
+    EXPECT_GT(res.demotions, 0u) << "rung " << rung;
+    EXPECT_EQ(res.rediscoveries, res.demotions) << "rung " << rung;
+  }
+}
+
+TEST(ArqEdgeCasesAtRungs, FrozenControllerNeverLeavesItsRung) {
+  for (const std::size_t rung : {std::size_t{0}, top_rung()}) {
+    common::Rng rng(8);
+    const InventoryConfig cfg = rung_pinned_config(rung);
+    FaultInjector inj(burst_plan(0.3, 0xF00));
+    auto tp = clean_mcs_transport();
+    const auto res = run_inventory(make_population(8), cfg, &inj, rng, &tp);
+    EXPECT_EQ(res.mcs_steps_up, 0u) << "rung " << rung;
+    EXPECT_EQ(res.mcs_steps_down, 0u) << "rung " << rung;
+    ASSERT_EQ(res.rung_polls.size(), 1u) << "rung " << rung;
+    EXPECT_EQ(res.rung_polls.begin()->first, rung);
+    // Nodes start at the paper rung and reconfigure at most once, to the
+    // pinned rung, on the first commanded query.
+    const std::size_t expect_reconf =
+        rung == net::mcs::McsLadder::kPaperRung ? 0u : 8u;
+    EXPECT_EQ(res.reconfigures, expect_reconf) << "rung " << rung;
+  }
+}
+
+TEST(ArqEdgeCasesAtRungs, SlowestRungCostsMoreAirtimeSameOutcomes) {
+  // Same seed, same faults: the rung must not change *protocol* outcomes,
+  // only the airtime bill (rung 0 is 32x slower than the top rung).
+  auto run_at = [](std::size_t rung) {
+    common::Rng rng(10);
+    const InventoryConfig cfg = rung_pinned_config(rung);
+    FaultInjector inj(burst_plan(0.2, 0xA1D));
+    auto tp = clean_mcs_transport();
+    return run_inventory(make_population(10), cfg, &inj, rng, &tp);
+  };
+  const auto lo = run_at(0);
+  const auto hi = run_at(top_rung());
+  EXPECT_EQ(lo.delivered, hi.delivered);
+  EXPECT_EQ(lo.polls, hi.polls);
+  EXPECT_EQ(lo.retries, hi.retries);
+  EXPECT_EQ(lo.timeouts, hi.timeouts);
+  EXPECT_EQ(lo.rounds, hi.rounds);
+  EXPECT_GT(lo.duration_s, hi.duration_s);
+}
+
+/// Integer protocol outcomes only: airtime legitimately varies with the
+/// rung, so rung-independence is asserted on everything *but* duration.
+struct RungCellOutcome {
+  std::size_t delivered = 0, polls = 0, retries = 0, timeouts = 0,
+              duplicates = 0, demotions = 0, rediscoveries = 0,
+              budget_exhaustions = 0, rounds = 0;
+  bool complete = false;
+
+  bool operator==(const RungCellOutcome&) const = default;
+};
+
+RungCellOutcome to_rung_outcome(const InventoryResult& r) {
+  return RungCellOutcome{r.delivered,  r.polls,       r.retries,
+                         r.timeouts,   r.duplicates,  r.demotions,
+                         r.rediscoveries, r.budget_exhaustions, r.rounds,
+                         r.complete};
+}
+
+std::vector<std::size_t> matrix_rungs() {
+  return {0, net::mcs::McsLadder::kPaperRung, top_rung()};
+}
+
+/// {fault kind} x {rung} x {threads}: cells laid out rung-major.
+std::vector<RungCellOutcome> run_mcs_matrix(unsigned threads) {
+  common::set_thread_count(threads);
+  const auto cells = fault_matrix();
+  const auto rungs = matrix_rungs();
+  common::Rng master(0x5C37);
+  std::vector<RungCellOutcome> out(cells.size() * rungs.size());
+  common::parallel_for(0, out.size(), [&](std::size_t i) {
+    const std::size_t c = i % cells.size();
+    const std::size_t rung = rungs[i / cells.size()];
+    // The same fault cell must see the same injector and poll streams at
+    // every rung: seed by cell, not by (cell, rung).
+    common::Rng rng = master.child(c);
+    FaultInjector inj(cells[c].plan);
+    InventoryConfig cfg = rung_pinned_config(rung);
+    cfg.arq.demote_after_misses = 8;
+    auto tp = clean_mcs_transport();
+    out[i] = to_rung_outcome(
+        run_inventory(make_population(12), cfg, &inj, rng, &tp));
+  });
+  common::set_thread_count(0);
+  return out;
+}
+
+TEST_F(FaultMatrixTest, McsMatrixBitIdenticalAcrossThreadCounts) {
+  const auto serial = run_mcs_matrix(1);
+  std::size_t total_retries = 0;
+  for (const auto& cell : serial) {
+    EXPECT_TRUE(cell.complete);
+    total_retries += cell.retries;
+  }
+  EXPECT_GT(total_retries, 0u);
+  for (unsigned threads : {2u, 8u}) {
+    const auto parallel = run_mcs_matrix(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      EXPECT_EQ(parallel[i], serial[i]) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST_F(FaultMatrixTest, McsMatrixOutcomesAreRungIndependent) {
+  // Identical injector + poll streams at every rung, and a transport whose
+  // clean-region curves never flip a coin differently: every fault cell's
+  // protocol outcome must be identical across the whole rung axis.
+  const auto out = run_mcs_matrix(1);
+  const std::size_t n_cells = fault_matrix().size();
+  const std::size_t n_rungs = matrix_rungs().size();
+  ASSERT_EQ(out.size(), n_cells * n_rungs);
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    for (std::size_t r = 1; r < n_rungs; ++r) {
+      EXPECT_EQ(out[r * n_cells + c], out[c])
+          << "cell " << c << " (" << fault_matrix()[c].kind << ") at rung axis "
+          << r;
+    }
+  }
+}
+
+TEST_F(FaultMatrixTest, McsMatrixReproducibleAtFixedSeed) {
+  const auto a = run_mcs_matrix(2);
+  const auto b = run_mcs_matrix(2);
+  EXPECT_EQ(a, b);
+}
 
 TEST(FaultWaveform, SnrDipLowersDemodSnr) {
   sim::Scenario clean = sim::vab_river_scenario();

@@ -126,5 +126,48 @@ TEST(GoldenExperiments, F2FiveThousandNodeOceanGrid) {
   EXPECT_GT(r.contended_windows, 0u);  // 9 readers in 1.5 km must contend
 }
 
+TEST(GoldenExperiments, Ext6SlottedVsPenaltyDensePoint) {
+  // Mirrors bench/fig_rate_adapt's densest sweep point: 192 nodes, 4
+  // mutually interfering readers on a 900 m square (typical link 300..550 m,
+  // inside the waterfall band), 64-poll window budget, seed 11. Same golden
+  // convention as F1/F2: in-platform bit-identity plus loose bands around
+  // the measured values.
+  const auto make = [](sim::fleet::MacMode mode) {
+    sim::fleet::FleetConfig fc;
+    fc.scenario = sim::vab_river_scenario();
+    fc.scenario.env.fading_sigma_db = 0.0;
+    fc.n_readers = 4;
+    fc.n_nodes = 192;
+    fc.area_m = 900.0;
+    fc.max_link_range_m = 550.0;
+    fc.interference_range_m = 5000.0;
+    fc.contention_penalty_db = 4.0;
+    fc.inventory.max_polls = 64;
+    fc.mac_mode = mode;
+    fc.fidelity.mode = sim::fleet::FidelityMode::kBudgetOnly;
+    return fc;
+  };
+  const common::Rng rng(11);
+  const auto penalty =
+      sim::fleet::run_fleet(make(sim::fleet::MacMode::kSinrPenalty), rng);
+  const auto slotted = sim::fleet::run_fleet(make(sim::fleet::MacMode::kSlotted), rng);
+  const auto again = sim::fleet::run_fleet(make(sim::fleet::MacMode::kSlotted), rng);
+  EXPECT_EQ(slotted.digest, again.digest);
+
+  // The EXT-6 headline: per-slot contention resolution beats the stacked
+  // SINR penalty once every window is contended (measured 192 vs ~141).
+  ASSERT_EQ(penalty.assigned, slotted.assigned);
+  EXPECT_GT(penalty.contended_windows, 0u);
+  EXPECT_GT(slotted.delivered, penalty.delivered);
+  EXPECT_GE(slotted.delivered * 100, slotted.assigned * 95);
+  EXPECT_LE(penalty.delivered * 100, penalty.assigned * 90);
+  // Slot accounting is live, conserved, and absent from the legacy model.
+  EXPECT_GT(slotted.slot_total, slotted.slot_success);
+  EXPECT_EQ(slotted.slot_idle + slotted.slot_success + slotted.slot_collision +
+                slotted.slot_capture,
+            slotted.slot_total);
+  EXPECT_EQ(penalty.slot_total, 0u);
+}
+
 }  // namespace
 }  // namespace vab

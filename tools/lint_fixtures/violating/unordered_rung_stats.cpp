@@ -1,0 +1,18 @@
+// expect: no-unordered-iter:1
+#include <cstddef>
+#include <unordered_map>
+
+namespace vab::fixture {
+
+double mean_rung_delivery(
+    const std::unordered_map<std::size_t, double>& delivery_by_rung) {
+  double sum = 0.0;
+  // Hash-order fold over per-rung MCS stats: float addition is not
+  // associative, so the ladder summary can differ between runs/platforms.
+  for (const auto& [rung, delivery] : delivery_by_rung) sum += delivery;
+  return delivery_by_rung.empty()
+             ? 0.0
+             : sum / static_cast<double>(delivery_by_rung.size());
+}
+
+}  // namespace vab::fixture
