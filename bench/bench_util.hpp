@@ -11,6 +11,7 @@
 #include "common/config.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
+#include "dsp/simd/simd.hpp"
 #include "obs/obs.hpp"
 
 namespace vab::bench {
@@ -39,6 +40,9 @@ inline void emit(const common::Table& table, const common::Config& cfg) {
 inline unsigned init_threads(const common::Config& cfg) {
   const long n = cfg.get_int("threads", 0);
   common::set_thread_count(n > 0 ? static_cast<unsigned>(n) : 0);
+  // Resolve SIMD dispatch eagerly so "simd_isa" is in the manifest (and in
+  // every BENCH line) even for benches that never touch a DSP kernel.
+  dsp::simd::active_isa();
   for (const auto& key : cfg.keys())
     obs::set_manifest("config." + key, cfg.get_string(key, ""));
   if (cfg.has("seed")) obs::set_manifest("seed", cfg.get_string("seed", ""));

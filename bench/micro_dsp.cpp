@@ -8,6 +8,7 @@
 #include "dsp/fft.hpp"
 #include "dsp/fir.hpp"
 #include "dsp/mixer.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/workspace.hpp"
 #include "phy/modem.hpp"
 #include "sim/fleet/event_queue.hpp"
@@ -132,6 +133,76 @@ void BM_FirDecimate(benchmark::State& state) {
 }
 BENCHMARK(BM_FirDecimate);
 
+// Scalar-forced A/B twins of the vectorized kernels: identical workloads with
+// the dispatcher pinned to the reference ISA for the duration of the run.
+// The ratio BM_X / BM_XScalar is the measured SIMD speedup on this machine;
+// both twins sit in check_bench's watchlist so neither the vector nor the
+// reference path can silently regress.
+class ScalarForced {
+ public:
+  ScalarForced() { dsp::simd::force_isa(dsp::simd::Isa::kScalar); }
+  ~ScalarForced() { dsp::simd::reset_isa(); }
+  ScalarForced(const ScalarForced&) = delete;
+  ScalarForced& operator=(const ScalarForced&) = delete;
+};
+
+void BM_FftScalar(benchmark::State& state) {
+  const ScalarForced guard;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  cvec x(n);
+  for (auto& v : x) v = rng.complex_gaussian();
+  for (auto _ : state) {
+    cvec y = x;
+    dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftScalar)->Arg(8192)->Arg(65536);
+
+void BM_SlidingCorrelateNaiveScalar(benchmark::State& state) {
+  const ScalarForced guard;
+  const cvec sig = corr_signal(static_cast<std::size_t>(state.range(0)), 5);
+  const cvec ref = corr_signal(static_cast<std::size_t>(state.range(1)), 6);
+  for (auto _ : state) {
+    cvec y = dsp::sliding_correlate_naive(sig, ref);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SlidingCorrelateNaiveScalar)->Args({16384, 360});
+
+void BM_FirDecimateScalar(benchmark::State& state) {
+  const ScalarForced guard;
+  common::Rng rng(9);
+  const rvec taps = dsp::design_lowpass(2500.0, 192000.0, 255,
+                                        dsp::WindowType::kKaiser, 12.0);
+  cvec x(131072);
+  for (auto& v : x) v = rng.complex_gaussian();
+  cvec y;
+  for (auto _ : state) {
+    dsp::fir_filter_decimate(taps, x, 24, 447, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_FirDecimateScalar);
+
+void BM_DownconvertScalar(benchmark::State& state) {
+  const ScalarForced guard;
+  const rvec x = dsp::make_tone(18500.0, 96000.0, 65536);
+  for (auto _ : state) {
+    cvec y = dsp::downconvert(x, 18500.0, 96000.0);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_DownconvertScalar);
+
 // End-to-end waveform trial (single thread): the unit of work every
 // EXPERIMENTS sweep repeats thousands of times.
 void BM_WaveformTrial(benchmark::State& state) {
@@ -149,6 +220,23 @@ void BM_WaveformTrial(benchmark::State& state) {
                           static_cast<std::int64_t>(payload.size()));
 }
 BENCHMARK(BM_WaveformTrial);
+
+void BM_WaveformTrialScalar(benchmark::State& state) {
+  const ScalarForced guard;
+  sim::Scenario sc;
+  sc.range_m = 100.0;
+  common::Rng rng(11);
+  const bitvec payload = rng.random_bits(64);
+  for (auto _ : state) {
+    common::Rng trial_rng(12);
+    sim::WaveformSimulator ws(sc, trial_rng);
+    auto res = ws.run_trial(payload);
+    benchmark::DoNotOptimize(&res);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_WaveformTrialScalar);
 
 void BM_FullDemodulate(benchmark::State& state) {
   phy::PhyConfig cfg;

@@ -50,6 +50,19 @@ bool in_parallel_worker();
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
+/// Contiguous near-equal partition of [0, n) into `count` pieces: piece
+/// `index` gets {begin, end} with the first n % count pieces one element
+/// longer. Depends only on (n, index, count), so a sharded campaign covers
+/// exactly the same global indices however the pieces are distributed.
+inline std::pair<std::size_t, std::size_t> split_range(std::size_t n,
+                                                       std::size_t index,
+                                                       std::size_t count) {
+  const std::size_t base = n / count;
+  const std::size_t rem = n % count;
+  const std::size_t begin = index * base + std::min(index, rem);
+  return {begin, begin + base + (index < rem ? 1 : 0)};
+}
+
 /// Chunk size used by parallel_reduce: depends only on the range length so
 /// chunk boundaries (and therefore fold order) are thread-count-invariant.
 inline std::size_t reduce_grain(std::size_t n) {

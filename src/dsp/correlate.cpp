@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/workspace.hpp"
 #include "obs/metrics.hpp"
 
@@ -22,11 +23,7 @@ bool use_naive(std::size_t n_out, std::size_t ref_len) {
 void sliding_correlate_naive_into(const cvec& sig, const cvec& ref, cvec& out) {
   const std::size_t n_out = sig.size() - ref.size() + 1;
   out.resize(n_out);
-  for (std::size_t k = 0; k < n_out; ++k) {
-    cplx acc{};
-    for (std::size_t n = 0; n < ref.size(); ++n) acc += sig[k + n] * std::conj(ref[n]);
-    out[k] = acc;
-  }
+  simd::ccorr_dot(sig.data(), ref.data(), ref.size(), out.data(), n_out);
 }
 
 // Overlap-save cross-correlation. With h[m] = conj(ref[M-1-m]) the full
@@ -60,7 +57,7 @@ void sliding_correlate_fft_into(const cvec& sig, const cvec& ref, cvec& out) {
               sig.begin() + static_cast<std::ptrdiff_t>(k0 + avail), blk.begin());
     std::fill(blk.begin() + static_cast<std::ptrdiff_t>(avail), blk.end(), cplx{});
     plan.forward(blk.data());
-    for (std::size_t i = 0; i < nfft; ++i) blk[i] *= href[i];
+    simd::cmul_inplace(blk.data(), href.data(), nfft);
     plan.inverse(blk.data());
     const std::size_t n_take = std::min(block_len, n_out - k0);
     for (std::size_t j = 0; j < n_take; ++j) out[k0 + j] = blk[m - 1 + j];
@@ -114,8 +111,7 @@ void normalized_correlate(const cvec& sig, const cvec& ref, rvec& out) {
 
   // Running window energy for O(N) normalization.
   out.resize(n_out);
-  double win_energy = 0.0;
-  for (std::size_t n = 0; n < ref.size(); ++n) win_energy += std::norm(sig[n]);
+  double win_energy = simd::sum_norms(sig.data(), ref.size());
   for (std::size_t k = 0; k < n_out; ++k) {
     const double denom = std::sqrt(std::max(win_energy, 1e-30)) * ref_norm;
     out[k] = std::abs(dot[k]) / denom;
@@ -144,21 +140,16 @@ std::optional<CorrelationPeak> find_peak(const cvec& sig, const cvec& ref,
   if (corr[best] < threshold) return std::nullopt;
 
   cplx raw{};
-  for (std::size_t n = 0; n < ref.size(); ++n) raw += sig[best + n] * std::conj(ref[n]);
+  simd::ccorr_dot(sig.data() + best, ref.data(), ref.size(), &raw, 1);
   return CorrelationPeak{best, corr[best], raw};
 }
 
-double energy(const cvec& x) {
-  double e = 0.0;
-  for (const auto& v : x) e += std::norm(v);
-  return e;
-}
+// All four energy/rms wrappers fold through the one serial-order reduction
+// implementation in the simd layer (deliberately not widened; see
+// dsp/simd/simd.hpp).
+double energy(const cvec& x) { return simd::sum_norms(x.data(), x.size()); }
 
-double energy(const rvec& x) {
-  double e = 0.0;
-  for (double v : x) e += v * v;
-  return e;
-}
+double energy(const rvec& x) { return simd::sum_squares(x.data(), x.size()); }
 
 double rms(const rvec& x) {
   return x.empty() ? 0.0 : std::sqrt(energy(x) / static_cast<double>(x.size()));

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/units.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/workspace.hpp"
 #include "obs/metrics.hpp"
 
@@ -68,21 +69,10 @@ void FftPlan::transform(cplx* x, const cplx* twiddle, bool inverse) const {
     if (i < j) std::swap(x[i], x[j]);
   }
   // Danielson–Lanczos butterflies; stage `len` reads its precomputed table.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const cplx* tw = twiddle + (len / 2 - 1);
-    const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cplx u = x[i + k];
-        const cplx v = x[i + k + half] * tw[k];
-        x[i + k] = u + v;
-        x[i + k + half] = u - v;
-      }
-    }
-  }
+  simd::fft_stages(x, n, twiddle);
   if (inverse) {
     const double inv_n = 1.0 / static_cast<double>(n);
-    for (std::size_t i = 0; i < n; ++i) x[i] *= inv_n;
+    simd::cscale_inplace(x, inv_n, n);
   }
 }
 
@@ -182,7 +172,7 @@ rvec fft_convolve(const rvec& a, const rvec& b) {
   const FftPlan& plan = fft_plan(n);
   plan.forward(fa.data());
   plan.forward(fb.data());
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  simd::cmul_inplace(fa.data(), fb.data(), n);
   plan.inverse(fa.data());
   rvec out(out_len);
   for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
@@ -203,7 +193,7 @@ cvec fft_xcorr(const cvec& a, const cvec& b) {
   const FftPlan& plan = fft_plan(n);
   plan.forward(fa.data());
   plan.forward(fb.data());
-  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  simd::cmul_inplace(fa.data(), fb.data(), n);
   plan.inverse(fa.data());
   return cvec(fa.begin(), fa.begin() + static_cast<std::ptrdiff_t>(out_len));
 }

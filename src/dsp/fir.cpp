@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "dsp/simd/simd.hpp"
 
 namespace vab::dsp {
 
@@ -125,15 +126,21 @@ void fir_filter_decimate(const rvec& taps, const cvec& x, std::size_t m,
   }
   const std::size_t n_out = (x.size() - offset - 1) / m + 1;
   out.resize(n_out);
-  for (std::size_t j = 0; j < n_out; ++j) {
+  // Ramp-up outputs whose window clips against the implicit zero history
+  // before x[0] stay on the guarded loop; same accumulation order as the
+  // streaming path (taps ascending, signal walking backwards).
+  std::size_t j = 0;
+  for (; j < n_out && offset + j * m + 1 < taps.size(); ++j) {
     const std::size_t i = offset + j * m;
-    // Same accumulation order as the streaming path: taps ascending, signal
-    // walking backwards, with the implicit zero history before x[0].
     const std::size_t k_end = std::min(taps.size(), i + 1);
     cplx acc{};
     for (std::size_t k = 0; k < k_end; ++k) acc += taps[k] * x[i - k];
     out[j] = acc;
   }
+  // Full-window outputs go through the batch kernel (bit-identical to the
+  // loop above by the simd layer's contract).
+  simd::fir_decimate(taps.data(), taps.size(), x.data(), offset + j * m, m,
+                     out.data() + j, n_out - j);
 }
 
 double fir_response_at(const rvec& taps, double f_hz, double fs_hz) {

@@ -1,9 +1,15 @@
 #include "dsp/mixer.hpp"
 
+#include <array>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "dsp/simd/simd.hpp"
+#include "obs/metrics.hpp"
 
 namespace vab::dsp {
 
@@ -22,6 +28,72 @@ double Nco::next_cos() { return next().real(); }
 
 void Nco::set_frequency(double freq_hz) { step_ = common::kTwoPi * freq_hz / fs_hz_; }
 
+namespace {
+
+// Per-thread cache of complex oscillator tables. The serial sin/cos phase
+// recurrence is the one part of the mixers the batch kernels cannot
+// vectorize (each sample's phase depends on the previous wrap_angle), and
+// the simulator mixes against the same handful of carriers millions of
+// samples at a time — so memoize the oscillator output and reduce every
+// mixer to an elementwise product.
+//
+// Bit-identity: a cached table holds exactly the values a fresh Nco would
+// emit (the stored Nco continues the same phase recurrence when a longer
+// request extends an entry), and results never depend on hit vs miss.
+// Entries are keyed on the exact bit patterns of (freq, fs, phase) — no
+// epsilon matching — and evicted round-robin, deterministically per thread.
+constexpr std::size_t kToneCacheEntries = 4;
+constexpr std::size_t kToneCacheMaxSamples = std::size_t{1} << 19;
+
+std::uint64_t dbits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+struct ToneEntry {
+  bool used = false;
+  std::uint64_t freq_bits = 0;
+  std::uint64_t fs_bits = 0;
+  std::uint64_t phase_bits = 0;
+  std::optional<Nco> nco;  // positioned at samples.size(), ready to extend
+  cvec samples;
+};
+
+/// First n samples of e^{j(2 pi freq t / fs + phase)}, or nullptr when n
+/// exceeds the cache cap (callers then fall back to a fresh Nco loop).
+const cvec* tone_table(double freq_hz, double fs_hz, double phase_rad,
+                       std::size_t n) {
+  if (n > kToneCacheMaxSamples) return nullptr;
+  static thread_local std::array<ToneEntry, kToneCacheEntries> entries;
+  static thread_local std::size_t next_victim = 0;
+  static const obs::Counter hits = obs::counter("dsp.mixer.tone_hits");
+  static const obs::Counter misses = obs::counter("dsp.mixer.tone_misses");
+
+  for (auto& e : entries) {
+    if (e.used && e.freq_bits == dbits(freq_hz) && e.fs_bits == dbits(fs_hz) &&
+        e.phase_bits == dbits(phase_rad)) {
+      while (e.samples.size() < n) e.samples.push_back(e.nco->next());
+      hits.add(1);
+      return &e.samples;
+    }
+  }
+
+  // Construct the oscillator before touching the slot: the Nco constructor
+  // validates fs_hz and must not leave a poisoned cache entry behind.
+  Nco fresh(freq_hz, fs_hz, phase_rad);
+  ToneEntry& e = entries[next_victim];
+  next_victim = (next_victim + 1) % kToneCacheEntries;
+  e.used = true;
+  e.freq_bits = dbits(freq_hz);
+  e.fs_bits = dbits(fs_hz);
+  e.phase_bits = dbits(phase_rad);
+  e.samples.clear();
+  e.samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) e.samples.push_back(fresh.next());
+  e.nco = fresh;
+  misses.add(1);
+  return &e.samples;
+}
+
+}  // namespace
+
 rvec make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude,
                double phase_rad) {
   rvec out;
@@ -31,6 +103,11 @@ rvec make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude,
 
 void make_tone(double freq_hz, double fs_hz, std::size_t n, double amplitude,
                double phase_rad, rvec& out) {
+  if (const cvec* tone = tone_table(freq_hz, fs_hz, phase_rad, n)) {
+    out.resize(n);
+    simd::tone_real(tone->data(), amplitude, out.data(), n);
+    return;
+  }
   Nco nco(freq_hz, fs_hz, phase_rad);
   out.resize(n);
   for (auto& x : out) x = amplitude * nco.next_cos();
@@ -44,12 +121,22 @@ cvec downconvert(const rvec& x, double freq_hz, double fs_hz, double phase_rad) 
 
 void downconvert(const rvec& x, double freq_hz, double fs_hz, double phase_rad,
                  cvec& out) {
+  if (const cvec* tone = tone_table(-freq_hz, fs_hz, -phase_rad, x.size())) {
+    out.resize(x.size());
+    simd::mix_real_tone(x.data(), tone->data(), out.data(), x.size());
+    return;
+  }
   Nco nco(-freq_hz, fs_hz, -phase_rad);
   out.resize(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] * nco.next();
 }
 
 rvec upconvert(const cvec& x, double freq_hz, double fs_hz, double phase_rad) {
+  if (const cvec* tone = tone_table(freq_hz, fs_hz, phase_rad, x.size())) {
+    rvec out(x.size());
+    simd::mix_to_real(x.data(), tone->data(), out.data(), x.size());
+    return out;
+  }
   Nco nco(freq_hz, fs_hz, phase_rad);
   rvec out(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] * nco.next()).real();

@@ -1,0 +1,15 @@
+// NEON instantiation of the kernel templates (aarch64 only; NEON is baseline
+// there, so no extra -m flags beyond -ffp-contract=off). On other targets the
+// symbols are scalar forwards, unreachable via dispatch.
+#include "dsp/simd/arch_neon.hpp"
+#include "dsp/simd/kernels.hpp"
+
+namespace vab::dsp::simd::detail {
+
+#if defined(__aarch64__)
+VAB_SIMD_DEFINE_KERNELS(neon, NeonArch)
+#else
+VAB_SIMD_DEFINE_KERNELS(neon, ScalarArch)
+#endif
+
+}  // namespace vab::dsp::simd::detail

@@ -47,40 +47,47 @@ LinkBudgetResult LinkBudget::evaluate(double range_m, double fading_db) const {
   return r;
 }
 
+LinkBudget::BerTrialOutcome LinkBudget::monte_carlo_trial(double range_m,
+                                                          std::size_t bits_per_trial,
+                                                          const common::Rng& rng,
+                                                          std::size_t t) const {
+  common::Rng trial_rng = rng.child(t);
+  const double fade = trial_rng.gaussian(0.0, scenario_.env.fading_sigma_db);
+  const LinkBudgetResult r = evaluate(range_m, fade);
+  std::binomial_distribution<std::size_t> binom(bits_per_trial,
+                                                std::min(std::max(r.ber, 0.0), 1.0));
+  return {binom(trial_rng.engine()), r.snr_chip_db};
+}
+
+LinkBudget::BerStats LinkBudget::fold_ber_trials(const BerTrialOutcome* slots,
+                                                 std::size_t trials,
+                                                 std::size_t bits_per_trial) {
+  VAB_STAGE("linkbudget.accumulate");
+  BerStats stats;
+  double snr_acc = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    stats.errors += slots[t].errors;
+    snr_acc += slots[t].snr_db;
+  }
+  stats.bits = trials * bits_per_trial;
+  stats.mean_snr_db = trials ? snr_acc / static_cast<double>(trials) : 0.0;
+  return stats;
+}
+
 LinkBudget::BerStats LinkBudget::monte_carlo(double range_m, std::size_t trials,
                                              std::size_t bits_per_trial,
                                              common::Rng& rng) const {
   // Trial t draws fade and bit errors from its own rng.child(t) stream;
   // slots are folded serially in trial order, so the result is bit-identical
   // for any thread count. `rng` itself is never advanced.
-  struct Slot {
-    std::size_t errors = 0;
-    double snr_db = 0.0;
-  };
   VAB_STAGE("linkbudget.monte_carlo");
   static const obs::Counter trial_counter = obs::counter("linkbudget.trials");
   trial_counter.add(trials);
-  std::vector<Slot> slots(trials);
+  std::vector<BerTrialOutcome> slots(trials);
   common::parallel_for(0, trials, [&](std::size_t t) {
-    common::Rng trial_rng = rng.child(t);
-    const double fade = trial_rng.gaussian(0.0, scenario_.env.fading_sigma_db);
-    const LinkBudgetResult r = evaluate(range_m, fade);
-    std::binomial_distribution<std::size_t> binom(bits_per_trial,
-                                                  std::min(std::max(r.ber, 0.0), 1.0));
-    slots[t] = {binom(trial_rng.engine()), r.snr_chip_db};
+    slots[t] = monte_carlo_trial(range_m, bits_per_trial, rng, t);
   });
-  BerStats stats;
-  double snr_acc = 0.0;
-  {
-    VAB_STAGE("linkbudget.accumulate");
-    for (const Slot& s : slots) {
-      stats.errors += s.errors;
-      snr_acc += s.snr_db;
-    }
-  }
-  stats.bits = trials * bits_per_trial;
-  stats.mean_snr_db = trials ? snr_acc / static_cast<double>(trials) : 0.0;
-  return stats;
+  return fold_ber_trials(slots.data(), trials, bits_per_trial);
 }
 
 double LinkBudget::max_range_m(double target_ber, std::size_t trials, common::Rng& rng,

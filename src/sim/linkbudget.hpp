@@ -48,6 +48,24 @@ class LinkBudget {
     }
   };
 
+  /// Raw outcome of one fading packet draw; folded serially in global trial
+  /// order by `fold_ber_trials` so the aggregate is invariant to thread
+  /// count and campaign shard topology.
+  struct BerTrialOutcome {
+    std::size_t errors = 0;
+    double snr_db = 0.0;
+  };
+
+  /// Runs global trial `t` (drawing from `rng.child(t)`; the parent stream
+  /// is never advanced).
+  BerTrialOutcome monte_carlo_trial(double range_m, std::size_t bits_per_trial,
+                                    const common::Rng& rng, std::size_t t) const;
+
+  /// Serial trial-order fold — the one aggregation behind `monte_carlo`
+  /// and the campaign merge.
+  static BerStats fold_ber_trials(const BerTrialOutcome* slots, std::size_t trials,
+                                  std::size_t bits_per_trial);
+
   /// Monte-Carlo over fading: `trials` packets of `bits_per_trial` bits,
   /// drawing lognormal shadowing per packet and binomial bit errors.
   /// Trials fan out over the parallel engine; packet t draws from

@@ -7,26 +7,13 @@
 
 namespace vab::sim {
 
-namespace {
-
-// Raw per-trial outcome; slots are written in parallel and folded serially
-// in trial order so the aggregate is thread-count-invariant.
-struct TrialSlot {
-  std::size_t bit_errors = 0;
-  bool sync_found = false;
-  bool frame_ok = false;
-  double snr_db = 0.0;
-  double corr_peak = 0.0;
-  double sic_suppression_db = 0.0;
-};
-
-WaveformStats fold_trials(const TrialSlot* slots, std::size_t n_trials,
-                          std::size_t payload_bits) {
+WaveformStats fold_waveform_trials(const WaveformTrialOutcome* slots,
+                                   std::size_t n_trials, std::size_t payload_bits) {
   VAB_STAGE("sim.accumulate");
   WaveformStats stats;
   stats.trials = n_trials;
   for (std::size_t t = 0; t < n_trials; ++t) {
-    const TrialSlot& s = slots[t];
+    const WaveformTrialOutcome& s = slots[t];
     stats.total_bits += payload_bits;
     stats.bit_errors += s.bit_errors;
     if (s.sync_found) {
@@ -46,14 +33,16 @@ WaveformStats fold_trials(const TrialSlot* slots, std::size_t n_trials,
   return stats;
 }
 
-TrialSlot run_one_trial(const Scenario& scenario, std::size_t payload_bits,
-                        common::Rng trial_rng) {
+WaveformTrialOutcome run_waveform_trial(const Scenario& scenario,
+                                        std::size_t payload_bits,
+                                        const common::Rng& rng, std::size_t t) {
   static const obs::Counter trials = obs::counter("sim.trials");
   trials.inc();
+  common::Rng trial_rng = rng.child(t);
   WaveformSimulator sim(scenario, trial_rng);
   const bitvec payload = trial_rng.random_bits(payload_bits);
   const auto res = sim.run_trial(payload);
-  TrialSlot s;
+  WaveformTrialOutcome s;
   s.bit_errors = res.bit_errors;
   s.sync_found = res.demod.sync_found;
   s.frame_ok = res.frame_ok;
@@ -62,8 +51,6 @@ TrialSlot run_one_trial(const Scenario& scenario, std::size_t payload_bits,
   s.sic_suppression_db = res.demod.sic_suppression_db;
   return s;
 }
-
-}  // namespace
 
 std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec& ranges,
                                            std::size_t trials, std::size_t bits_per_trial,
@@ -90,11 +77,11 @@ std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec&
 WaveformStats run_waveform_trials(const Scenario& scenario, std::size_t n_trials,
                                   std::size_t payload_bits, common::Rng& rng) {
   VAB_STAGE("sim.waveform_trials");
-  std::vector<TrialSlot> slots(n_trials);
+  std::vector<WaveformTrialOutcome> slots(n_trials);
   common::parallel_for(0, n_trials, [&](std::size_t t) {
-    slots[t] = run_one_trial(scenario, payload_bits, rng.child(t));
+    slots[t] = run_waveform_trial(scenario, payload_bits, rng, t);
   });
-  return fold_trials(slots.data(), n_trials, payload_bits);
+  return fold_waveform_trials(slots.data(), n_trials, payload_bits);
 }
 
 std::vector<WaveformStats> run_waveform_batch(const std::vector<WaveformJob>& jobs) {
@@ -105,22 +92,22 @@ std::vector<WaveformStats> run_waveform_batch(const std::vector<WaveformJob>& jo
     offsets[j + 1] = offsets[j] + jobs[j].trials;
   const std::size_t total = offsets.back();
 
-  std::vector<TrialSlot> slots(total);
+  std::vector<WaveformTrialOutcome> slots(total);
   common::parallel_for(0, total, [&](std::size_t flat) {
     const std::size_t j =
         static_cast<std::size_t>(std::upper_bound(offsets.begin(), offsets.end(), flat) -
                                  offsets.begin()) -
         1;
     const std::size_t t = flat - offsets[j];
-    slots[flat] = run_one_trial(jobs[j].scenario, jobs[j].payload_bits,
-                                jobs[j].rng.child(t));
+    slots[flat] = run_waveform_trial(jobs[j].scenario, jobs[j].payload_bits,
+                                     jobs[j].rng, t);
   });
 
   std::vector<WaveformStats> out;
   out.reserve(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j)
-    out.push_back(
-        fold_trials(slots.data() + offsets[j], jobs[j].trials, jobs[j].payload_bits));
+    out.push_back(fold_waveform_trials(slots.data() + offsets[j], jobs[j].trials,
+                                       jobs[j].payload_bits));
   return out;
 }
 

@@ -47,6 +47,31 @@ struct WaveformStats {
   }
 };
 
+/// Raw outcome of one waveform trial. Slots are written in parallel (or on
+/// different campaign shards) and folded serially in global trial order by
+/// `fold_waveform_trials`, so the aggregate is invariant to both thread
+/// count and shard topology.
+struct WaveformTrialOutcome {
+  std::size_t bit_errors = 0;
+  bool sync_found = false;
+  bool frame_ok = false;
+  double snr_db = 0.0;
+  double corr_peak = 0.0;
+  double sic_suppression_db = 0.0;
+};
+
+/// Runs global trial `t` (drawing from `rng.child(t)`; the parent stream is
+/// never advanced, so any process holding the master seed computes the same
+/// outcome for the same t).
+WaveformTrialOutcome run_waveform_trial(const Scenario& scenario,
+                                        std::size_t payload_bits,
+                                        const common::Rng& rng, std::size_t t);
+
+/// Serial trial-order fold of raw outcomes — the one aggregation
+/// implementation behind both the in-process runners and the campaign merge.
+WaveformStats fold_waveform_trials(const WaveformTrialOutcome* slots,
+                                   std::size_t n_trials, std::size_t payload_bits);
+
 /// Runs `n_trials` full waveform trials with random payloads of
 /// `payload_bits` bits each; trial t draws from `rng.child(t)`.
 WaveformStats run_waveform_trials(const Scenario& scenario, std::size_t n_trials,

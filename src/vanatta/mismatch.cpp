@@ -7,6 +7,30 @@
 
 namespace vab::vanatta {
 
+double mismatch_trial(const VanAttaConfig& cfg, double theta_rad, double f_hz,
+                      double sigma_phase_rad, double sigma_gain_db,
+                      double clean_gain_db, const common::Rng& rng,
+                      std::size_t t) {
+  common::Rng draw_rng = rng.child(t);
+  VanAttaArray noisy(cfg);
+  std::vector<double> ph(cfg.n_elements), g(cfg.n_elements);
+  for (std::size_t i = 0; i < cfg.n_elements; ++i) {
+    ph[i] = draw_rng.gaussian(0.0, sigma_phase_rad);
+    g[i] = std::pow(10.0, draw_rng.gaussian(0.0, sigma_gain_db) / 20.0);
+  }
+  noisy.set_phase_errors(std::move(ph));
+  noisy.set_gain_errors(std::move(g));
+  return clean_gain_db - noisy.monostatic_gain_db(theta_rad, f_hz);
+}
+
+MismatchResult fold_mismatch_losses(const rvec& losses) {
+  MismatchResult r;
+  r.mean_loss_db = common::mean(losses);
+  r.p95_loss_db = common::percentile(losses, 95.0);
+  r.worst_loss_db = common::max_value(losses);
+  return r;
+}
+
 MismatchResult mismatch_monte_carlo(const VanAttaConfig& cfg, double theta_rad,
                                     double f_hz, double sigma_phase_rad,
                                     double sigma_gain_db, std::size_t trials,
@@ -17,23 +41,10 @@ MismatchResult mismatch_monte_carlo(const VanAttaConfig& cfg, double theta_rad,
   // Draw t uses rng.child(t): thread-count-invariant and order-independent.
   rvec losses(trials);
   common::parallel_for(0, trials, [&](std::size_t t) {
-    common::Rng draw_rng = rng.child(t);
-    VanAttaArray noisy(cfg);
-    std::vector<double> ph(cfg.n_elements), g(cfg.n_elements);
-    for (std::size_t i = 0; i < cfg.n_elements; ++i) {
-      ph[i] = draw_rng.gaussian(0.0, sigma_phase_rad);
-      g[i] = std::pow(10.0, draw_rng.gaussian(0.0, sigma_gain_db) / 20.0);
-    }
-    noisy.set_phase_errors(std::move(ph));
-    noisy.set_gain_errors(std::move(g));
-    losses[t] = clean_gain - noisy.monostatic_gain_db(theta_rad, f_hz);
+    losses[t] = mismatch_trial(cfg, theta_rad, f_hz, sigma_phase_rad,
+                               sigma_gain_db, clean_gain, rng, t);
   });
-
-  MismatchResult r;
-  r.mean_loss_db = common::mean(losses);
-  r.p95_loss_db = common::percentile(losses, 95.0);
-  r.worst_loss_db = common::max_value(losses);
-  return r;
+  return fold_mismatch_losses(losses);
 }
 
 }  // namespace vab::vanatta

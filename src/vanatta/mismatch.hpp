@@ -14,6 +14,19 @@ struct MismatchResult {
   double worst_loss_db = 0.0;
 };
 
+/// One mismatch draw: global trial `t` (from `rng.child(t)`; the parent
+/// stream is never advanced) against a clean-array gain the caller computed
+/// once with `VanAttaArray(cfg).monostatic_gain_db(theta, f)`. Returns the
+/// retro-gain loss in dB.
+double mismatch_trial(const VanAttaConfig& cfg, double theta_rad, double f_hz,
+                      double sigma_phase_rad, double sigma_gain_db,
+                      double clean_gain_db, const common::Rng& rng, std::size_t t);
+
+/// Order-sensitive statistics over per-trial losses indexed by global trial
+/// — the one aggregation behind `mismatch_monte_carlo` and the campaign
+/// merge.
+MismatchResult fold_mismatch_losses(const rvec& losses);
+
 /// Runs `trials` random draws of per-element Gaussian phase error
 /// (`sigma_phase_rad`) and log-normal gain error (`sigma_gain_db`), measuring
 /// the monostatic gain at `theta` relative to the error-free array.

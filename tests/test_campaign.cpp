@@ -1,0 +1,280 @@
+// Distributed-campaign correctness: shard/merge bit-identity against the
+// in-process runners at several thread counts and shard topologies,
+// checkpoint round-trip and resume-after-interrupt semantics, and rejection
+// of stale/corrupt/mismatched checkpoint files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "sim/campaign.hpp"
+#include "sim/scenario.hpp"
+
+namespace vab {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vab-campaign-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    common::set_thread_count(0);
+    fs::remove_all(dir_);
+  }
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+};
+
+sim::Scenario fast_scenario() {
+  sim::Scenario s = sim::vab_river_scenario();
+  s.range_m = 60.0;
+  return s;
+}
+
+sim::CampaignConfig campaign(const std::string& dir, const std::string& key,
+                             std::size_t index, std::size_t count) {
+  sim::CampaignConfig cfg;
+  cfg.dir = dir;
+  cfg.key = key;
+  cfg.shard.index = index;
+  cfg.shard.count = count;
+  return cfg;
+}
+
+bool same_stats(const sim::WaveformStats& a, const sim::WaveformStats& b) {
+  return a.trials == b.trials && a.frames_synced == b.frames_synced &&
+         a.frames_ok == b.frames_ok && a.total_bits == b.total_bits &&
+         a.bit_errors == b.bit_errors && a.mean_snr_db == b.mean_snr_db &&
+         a.mean_corr_peak == b.mean_corr_peak &&
+         a.mean_sic_suppression_db == b.mean_sic_suppression_db;
+}
+
+TEST(ShardSpec, ParsesAndValidates) {
+  const auto s = sim::ShardSpec::parse("2/8");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_EQ(s.str(), "2/8");
+  EXPECT_THROW(sim::ShardSpec::parse("8/8"), std::invalid_argument);
+  EXPECT_THROW(sim::ShardSpec::parse("0/0"), std::invalid_argument);
+  EXPECT_THROW(sim::ShardSpec::parse("nope"), std::invalid_argument);
+  EXPECT_THROW(sim::ShardSpec::parse("1/2x"), std::invalid_argument);
+}
+
+TEST(ShardSpec, RangesPartitionTheTrialSpaceExactly) {
+  for (const std::size_t n : {0u, 1u, 7u, 16u, 100u, 101u}) {
+    for (const std::size_t count : {1u, 2u, 3u, 8u, 17u}) {
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const auto [b, e] = common::split_range(n, i, count);
+        EXPECT_EQ(b, prev_end);
+        EXPECT_LE(b, e);
+        covered += e - b;
+        prev_end = e;
+      }
+      EXPECT_EQ(prev_end, n);
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST_F(CampaignTest, WaveformMergeMatchesDirectRunAcrossThreadsAndShards) {
+  const sim::Scenario scenario = fast_scenario();
+  const std::size_t trials = 12;
+  const std::size_t bits = 32;
+  common::Rng rng(42);
+  common::set_thread_count(1);
+  const sim::WaveformStats direct =
+      sim::run_waveform_trials(scenario, trials, bits, rng);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const std::size_t count : {1u, 3u, 5u}) {
+      common::set_thread_count(threads);
+      std::vector<sim::WaveformShardResult> shards;
+      for (std::size_t i = 0; i < count; ++i)
+        shards.push_back(sim::run_waveform_shard(scenario, trials, bits, rng,
+                                                 campaign("", "k", i, count)));
+      const auto merged = sim::merge_waveform_campaign(shards, trials, bits);
+      EXPECT_TRUE(same_stats(direct, merged))
+          << "threads=" << threads << " shards=" << count;
+    }
+  }
+}
+
+TEST_F(CampaignTest, InterruptedCampaignResumesBitIdentical) {
+  // "Interrupt": only shard 0 of 3 completes and checkpoints. The resumed
+  // sweep must load shard 0 from disk (not recompute) and produce stats
+  // bit-identical to an uninterrupted single-shard run.
+  const sim::Scenario scenario = fast_scenario();
+  const std::size_t trials = 9;
+  const std::size_t bits = 32;
+  common::Rng rng(7);
+  common::set_thread_count(2);
+
+  const auto first =
+      sim::run_waveform_shard(scenario, trials, bits, rng, campaign(dir(), "key", 0, 3));
+  EXPECT_FALSE(first.from_checkpoint);
+  const std::string ckpt = sim::checkpoint_path(campaign(dir(), "key", 0, 3), "waveform");
+  ASSERT_TRUE(fs::exists(ckpt));
+  // Freeze the file's bytes: if the resume recomputed instead of loading,
+  // from_checkpoint would be false below.
+
+  std::vector<sim::WaveformShardResult> shards;
+  for (std::size_t i = 0; i < 3; ++i)
+    shards.push_back(sim::run_waveform_shard(scenario, trials, bits, rng,
+                                             campaign(dir(), "key", i, 3)));
+  EXPECT_TRUE(shards[0].from_checkpoint);
+  EXPECT_FALSE(shards[1].from_checkpoint);
+
+  common::set_thread_count(1);
+  common::Rng fresh(7);
+  const auto direct = sim::run_waveform_trials(scenario, trials, bits, fresh);
+  EXPECT_TRUE(same_stats(direct, sim::merge_waveform_campaign(shards, trials, bits)));
+}
+
+TEST_F(CampaignTest, CheckpointRejectedOnCorruptionTruncationOrWrongKey) {
+  const sim::Scenario scenario = fast_scenario();
+  const std::size_t trials = 6;
+  const std::size_t bits = 32;
+  common::Rng rng(11);
+  const auto cfg = campaign(dir(), "key-a", 0, 2);
+  sim::run_waveform_shard(scenario, trials, bits, rng, cfg);
+  const std::string path = sim::checkpoint_path(cfg, "waveform");
+  ASSERT_TRUE(fs::exists(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+
+  // A different campaign key maps to a different file entirely.
+  const auto other = campaign(dir(), "key-b", 0, 2);
+  EXPECT_NE(sim::checkpoint_path(other, "waveform"), path);
+  EXPECT_FALSE(
+      sim::run_waveform_shard(scenario, trials, bits, rng, other).from_checkpoint);
+
+  // Flip one record byte: digest mismatch, recompute.
+  std::string corrupt = content;
+  const auto pos = corrupt.find("\nr ");
+  ASSERT_NE(pos, std::string::npos);
+  corrupt[pos + 3] = corrupt[pos + 3] == 'z' ? 'y' : 'z';
+  std::ofstream(path, std::ios::trunc) << corrupt;
+  EXPECT_FALSE(
+      sim::run_waveform_shard(scenario, trials, bits, rng, cfg).from_checkpoint);
+
+  // Truncate after the header: missing records, recompute.
+  std::ofstream(path, std::ios::trunc) << content.substr(0, content.find('\n') + 1);
+  EXPECT_FALSE(
+      sim::run_waveform_shard(scenario, trials, bits, rng, cfg).from_checkpoint);
+
+  // Intact file is accepted again.
+  std::ofstream(path, std::ios::trunc) << content;
+  EXPECT_TRUE(
+      sim::run_waveform_shard(scenario, trials, bits, rng, cfg).from_checkpoint);
+}
+
+TEST_F(CampaignTest, MergeRejectsMissingAndOverlappingShards) {
+  const sim::Scenario scenario = fast_scenario();
+  const std::size_t trials = 8;
+  const std::size_t bits = 32;
+  common::Rng rng(3);
+  auto s0 = sim::run_waveform_shard(scenario, trials, bits, rng, campaign("", "k", 0, 2));
+  auto s1 = sim::run_waveform_shard(scenario, trials, bits, rng, campaign("", "k", 1, 2));
+  EXPECT_THROW(sim::merge_waveform_campaign({s0}, trials, bits), std::runtime_error);
+  EXPECT_THROW(sim::merge_waveform_campaign({s0, s0, s1}, trials, bits),
+               std::runtime_error);
+  EXPECT_NO_THROW(sim::merge_waveform_campaign({s1, s0}, trials, bits));
+}
+
+TEST_F(CampaignTest, LinkBudgetShardsMergeBitIdentical) {
+  const sim::LinkBudget budget(sim::vab_river_scenario());
+  const std::size_t trials = 400;
+  const std::size_t bits = 512;
+  common::Rng rng(5);
+  common::set_thread_count(1);
+  common::Rng direct_rng(5);
+  const auto direct = budget.monte_carlo(250.0, trials, bits, direct_rng);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    common::set_thread_count(threads);
+    std::vector<sim::BerShardResult> shards;
+    for (std::size_t i = 0; i < 4; ++i)
+      shards.push_back(sim::run_linkbudget_shard(budget, 250.0, trials, bits, rng,
+                                                 campaign(dir(), "lb", i, 4)));
+    const auto merged = sim::merge_linkbudget_campaign(shards, trials, bits);
+    EXPECT_EQ(direct.bits, merged.bits) << "threads=" << threads;
+    EXPECT_EQ(direct.errors, merged.errors) << "threads=" << threads;
+    EXPECT_EQ(direct.mean_snr_db, merged.mean_snr_db) << "threads=" << threads;
+  }
+  // Second pass resumed every shard from its checkpoint.
+  const auto resumed = sim::run_linkbudget_shard(budget, 250.0, trials, bits, rng,
+                                                 campaign(dir(), "lb", 0, 4));
+  EXPECT_TRUE(resumed.from_checkpoint);
+}
+
+TEST_F(CampaignTest, MismatchShardsMergeBitIdentical) {
+  vanatta::VanAttaConfig ac;
+  ac.n_elements = 8;
+  const std::size_t trials = 120;
+  common::Rng rng(9);
+  common::set_thread_count(1);
+  common::Rng direct_rng(9);
+  const auto direct =
+      vanatta::mismatch_monte_carlo(ac, 0.1, 18500.0, 0.2, 1.0, trials, direct_rng);
+
+  for (const unsigned threads : {2u, 8u}) {
+    common::set_thread_count(threads);
+    std::vector<sim::MismatchShardResult> shards;
+    for (std::size_t i = 0; i < 3; ++i)
+      shards.push_back(sim::run_mismatch_shard(ac, 0.1, 18500.0, 0.2, 1.0, trials,
+                                               rng, campaign("", "mm", i, 3)));
+    const auto merged = sim::merge_mismatch_campaign(shards, trials);
+    EXPECT_EQ(direct.mean_loss_db, merged.mean_loss_db);
+    EXPECT_EQ(direct.p95_loss_db, merged.p95_loss_db);
+    EXPECT_EQ(direct.worst_loss_db, merged.worst_loss_db);
+  }
+}
+
+TEST_F(CampaignTest, BatchShardsMergeBitIdenticalPerJob) {
+  std::vector<sim::WaveformJob> jobs;
+  common::Rng rng(21);
+  for (const double range : {60.0, 90.0}) {
+    sim::WaveformJob j;
+    j.scenario = fast_scenario();
+    j.scenario.range_m = range;
+    j.trials = 5;
+    j.payload_bits = 32;
+    j.rng = rng.child(static_cast<std::uint64_t>(range));
+    jobs.push_back(std::move(j));
+  }
+  common::set_thread_count(1);
+  const auto direct = sim::run_waveform_batch(jobs);
+
+  for (const unsigned threads : {2u, 8u}) {
+    common::set_thread_count(threads);
+    std::vector<sim::WaveformShardResult> shards;
+    for (std::size_t i = 0; i < 4; ++i)
+      shards.push_back(sim::run_waveform_batch_shard(jobs, campaign(dir(), "b", i, 4)));
+    const auto merged = sim::merge_waveform_batch_campaign(shards, jobs);
+    ASSERT_EQ(direct.size(), merged.size());
+    for (std::size_t j = 0; j < direct.size(); ++j)
+      EXPECT_TRUE(same_stats(direct[j], merged[j]))
+          << "job=" << j << " threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace vab

@@ -23,10 +23,13 @@ import re
 import sys
 from pathlib import Path
 
-# Kernels the perf PR promised: correlation and FFT paths (plus the decimated
-# FIR that replaced full-rate filtering on the demod chain), and the fleet
-# simulator's hot path (event queue, spatial grid, budget-fidelity run).
-WATCH_PATTERN = re.compile(r"Correlate|Fft|FirDecimate|Fleet")
+# Kernels the perf PRs promised: correlation and FFT paths (plus the decimated
+# FIR that replaced full-rate filtering on the demod chain), the mixer, the
+# end-to-end waveform trial, and the fleet simulator's hot path (event queue,
+# spatial grid, budget-fidelity run). This also covers the *Scalar twins of the
+# vectorized kernels, so the reference path is regression-gated alongside the
+# dispatched one.
+WATCH_PATTERN = re.compile(r"Correlate|Fft|FirDecimate|Downconvert|WaveformTrial|Fleet")
 
 # Machine-speed proxy: plain streaming FIR, untouched scalar code. Not in the
 # watchlist, so a genuine FFT/correlation regression cannot hide in it.

@@ -37,6 +37,12 @@ same or the preceding line; annotate *why* next to it):
                         its primary point of use.
   no-using-namespace    file-scope `using namespace` in a header leaks into
                         every includer.
+  simd-intrinsics-confined
+                        raw SIMD intrinsics (immintrin/arm_neon includes,
+                        _mm*/__m* tokens, NEON v*_f64 calls) outside
+                        src/dsp/simd/: ISA-specific code must sit behind the
+                        runtime dispatch layer, where the scalar-vs-SIMD
+                        bit-identity suite covers it.
 
 Modes:
   vab_lint.py <root>...                 lint sources under the roots
@@ -254,6 +260,34 @@ def rule_no_wallclock(src: SourceFile) -> list[Finding]:
         "observability layer or simulated time")
 
 
+# --- SIMD intrinsic confinement ---------------------------------------------
+
+# Raw-intrinsic fingerprints: x86 intrinsic headers and <arm_neon.h>, SSE/AVX
+# calls and vector types, NEON vector types and the v...(_lane)_{f,s,u,p}N
+# call family. Matched against the blanked shadow, so discussing an intrinsic
+# in a comment (as dsp docs do) never trips it.
+SIMD_INTRINSICS_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin|x86intrin|arm_neon|[a-z]+mmintrin)\.h>"
+    r"|\b_mm(?:256|512)?_\w+"
+    r"|\b__m(?:64|128|256|512)[dih]?\b"
+    r"|\b(?:float|poly|u?int)(?:8|16|32|64)x(?:1|2|4|8|16)_t\b"
+    r"|\bv[a-z][a-z0-9_]*_[fsup](?:8|16|32|64)\s*\(")
+
+# The one directory where ISA-specific code is legitimate: each arch header
+# plus the per-ISA translation units, all gated by the bit-identity suite.
+SIMD_ALLOWED_PARTS = ("dsp/simd/",)
+
+
+def rule_simd_intrinsics_confined(src: SourceFile) -> list[Finding]:
+    norm = src.path.replace(os.sep, "/")
+    if any(part in norm for part in SIMD_ALLOWED_PARTS):
+        return []
+    return match_findings(
+        src, "simd-intrinsics-confined", SIMD_INTRINSICS_RE,
+        "raw SIMD intrinsic outside src/dsp/simd/: call the dispatched "
+        "dsp::simd kernels so every ISA stays behind the bit-identity gate")
+
+
 # --- unordered iteration ----------------------------------------------------
 
 UNORDERED_DECL_RE = re.compile(
@@ -414,13 +448,14 @@ RULES = [
     rule_pragma_once,
     rule_own_header_first,
     rule_no_using_namespace,
+    rule_simd_intrinsics_confined,
 ]
 
 RULE_IDS = [
     "no-libc-rand", "no-random-device", "no-time-seeded-rng",
     "no-unordered-iter", "no-pointer-key-order", "no-wallclock",
     "rng-child-discipline", "pragma-once", "own-header-first",
-    "no-using-namespace",
+    "no-using-namespace", "simd-intrinsics-confined",
 ]
 
 
