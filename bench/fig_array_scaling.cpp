@@ -29,8 +29,9 @@ int main(int argc, char** argv) {
     common::Rng local = rng.child(n);
     t.add_row({std::to_string(n),
                common::Table::num(arr.monostatic_gain_db(0.0, s.phy.carrier_hz), 1),
-               common::Table::num(lb.evaluate(ref_range).snr_chip_db, 1),
-               common::Table::num(lb.max_range_m(1e-3, trials, local), 0)});
+               common::Table::num(
+                   lb.evaluate(common::Meters{ref_range}).snr_chip_db.raw(), 1),
+               common::Table::num(lb.max_range(1e-3, trials, local).raw(), 0)});
   }
   bench::emit(t, cfg);
   bench::emit_timing("E3", "max_range_bisect", sw.seconds(), 7 * 26 * trials);

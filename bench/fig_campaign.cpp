@@ -110,7 +110,8 @@ int main(int argc, char** argv) {
     const double range_m = cfg.get_double("range", 200.0);
     std::vector<sim::BerShardResult> shards;
     for (const auto& c : shard_cfgs)
-      shards.push_back(sim::run_linkbudget_shard(budget, range_m, trials, bits, rng, c));
+      shards.push_back(sim::run_linkbudget_shard(budget, common::Meters{range_m},
+                                                 trials, bits, rng, c));
     if (merge) {
       const auto stats = sim::merge_linkbudget_campaign(shards, trials, bits);
       lines = {"bits=" + std::to_string(stats.bits),
@@ -124,8 +125,10 @@ int main(int argc, char** argv) {
     const double sigma_gain = cfg.get_double("sigma_gain_db", 1.0);
     std::vector<sim::MismatchShardResult> shards;
     for (const auto& c : shard_cfgs)
-      shards.push_back(sim::run_mismatch_shard(ac, 0.0, 18500.0, sigma_phase,
-                                               sigma_gain, trials, rng, c));
+      shards.push_back(sim::run_mismatch_shard(ac, 0.0, common::Hz{18500.0},
+                                               sigma_phase,
+                                               common::Db{sigma_gain}, trials,
+                                               rng, c));
     if (merge) {
       const auto r = sim::merge_mismatch_campaign(shards, trials);
       lines = {"mean_loss_db=" + fmt(r.mean_loss_db),

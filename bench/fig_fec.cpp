@@ -61,8 +61,8 @@ int main(int argc, char** argv) {
   common::Table t({"range_m", "uncoded_ber", "coded_raw_ber", "coded_data_ber",
                    "verdict"});
   for (double r : {250.0, 300.0, 350.0, 400.0, 450.0}) {
-    const auto clean = lb.evaluate(r);
-    const double snr_coded_db = clean.snr_chip_db - rate_penalty_db;
+    const auto clean = lb.evaluate(common::Meters{r});
+    const double snr_coded_db = clean.snr_chip_db.raw() - rate_penalty_db;
     const double raw_coded =
         phy::ber_fm0(std::pow(10.0, snr_coded_db / 10.0));
     common::Rng local = rng.child(static_cast<std::uint64_t>(r));

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       if (mode == vanatta::ArrayMode::kSingleElement)
         s.node.array.scheme = vanatta::ModulationScheme::kOnOff;
       s.node.orientation_rad = common::deg_to_rad(deg);
-      row.push_back(sim::LinkBudget(s).evaluate(range).snr_chip_db);
+      row.push_back(sim::LinkBudget(s).evaluate(common::Meters{range}).snr_chip_db.raw());
     }
     t.add_row({common::Table::num(deg, 0), common::Table::num(row[0], 1),
                common::Table::num(row[1], 1), common::Table::num(row[2], 1)});

@@ -28,10 +28,11 @@ int main(int argc, char** argv) {
     s.phy.bitrate_bps = bitrates[i];
     const sim::LinkBudget lb(s);
     common::Rng local = rng.child(i);
-    const auto at300 = lb.evaluate(300.0);
+    const auto at300 = lb.evaluate(common::Meters{300.0});
     t.add_row({common::Table::num(bitrates[i], 0),
-               common::Table::num(lb.max_range_m(1e-3, trials, local), 0),
-               common::Table::num(at300.snr_chip_db, 1), common::Table::sci(at300.ber)});
+               common::Table::num(lb.max_range(1e-3, trials, local).raw(), 0),
+               common::Table::num(at300.snr_chip_db.raw(), 1),
+               common::Table::sci(at300.ber)});
   }
   bench::emit(t, cfg);
 

@@ -64,7 +64,8 @@ void BM_NoiseSynthesis(benchmark::State& state) {
   common::Rng rng(3);
   const channel::NoiseConditions cond{};
   for (auto _ : state) {
-    rvec y = channel::synthesize_ambient_noise(65536, 96000.0, cond, rng);
+    rvec y = channel::synthesize_ambient_noise(65536, common::SampleRateHz{96000.0},
+                                               cond, rng);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
@@ -287,11 +288,11 @@ void BM_FleetGridQuery(benchmark::State& state) {
   common::Rng rng(14);
   std::vector<sim::fleet::Position> pts(n);
   for (auto& p : pts) p = {rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)};
-  const sim::fleet::SpatialGrid grid(pts, 50.0);
+  const sim::fleet::SpatialGrid grid(pts, common::Meters{50.0});
   std::vector<std::uint32_t> out;
   std::size_t probe = 0;
   for (auto _ : state) {
-    grid.query(pts[probe % n], 250.0, out);
+    grid.query(pts[probe % n], common::Meters{250.0}, out);
     benchmark::DoNotOptimize(out.data());
     ++probe;
   }

@@ -39,12 +39,12 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     common::Rng local = rng.child(i);
     const sim::LinkBudget lb(rows[i].scenario);
-    max_ranges.push_back(lb.max_range_m(1e-3, trials, local));
+    max_ranges.push_back(lb.max_range(1e-3, trials, local).raw());
     // Underwater nodes cannot be aimed: repeat at 30 degrees off broadside.
     sim::Scenario off = rows[i].scenario;
     off.node.orientation_rad = common::deg_to_rad(30.0);
     common::Rng local2 = rng.child(100 + i);
-    off_ranges.push_back(sim::LinkBudget(off).max_range_m(1e-3, trials, local2));
+    off_ranges.push_back(sim::LinkBudget(off).max_range(1e-3, trials, local2).raw());
     if (std::string(rows[i].name).find("PAB") != std::string::npos)
       pab_range = max_ranges.back();
   }

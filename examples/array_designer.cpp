@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
                                   1),
                common::Table::num(arr.monostatic_gain_db(0.0, 18500.0), 1),
                common::Table::num(vanatta::retro_fov_deg(arr, 18500.0), 0),
-               common::Table::num(sim::LinkBudget(s).max_range_m(1e-3, 150, local), 0)});
+               common::Table::num(
+                   sim::LinkBudget(s).max_range(1e-3, 150, local).raw(), 0)});
   }
   std::cout << t.to_string() << "\n";
 

@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
   common::Table t({"node", "range_m", "orient_deg", "delivery", "harvest_uW",
                    "load_uW", "battery_free"});
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    const double spl = budget.carrier_spl_at_node(nodes[i].range_m);
+    const double spl =
+        budget.carrier_spl_at_node(common::Meters{nodes[i].range_m}).raw();
     const double harvest =
         harvester.harvested_power_w(common::pressure_from_spl(spl), 18500.0);
     const double load = power.average_power_w(0.97 - bs_frac, 0.02, bs_frac, 0.01);

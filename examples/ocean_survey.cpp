@@ -72,14 +72,14 @@ int main(int argc, char** argv) {
     const sim::LinkBudget lb(s);
 
     // Communication: PER at the closest approach.
-    const double ber = lb.evaluate(cross).ber;
+    const double ber = lb.evaluate(common::Meters{cross}).ber;
     const double per = phy::packet_error_rate(ber, (4 + 6 + 2) * 8);
     std::size_t ok = 0;
     for (std::size_t p = 0; p < passes; ++p)
       if (!node_rng.coin(per)) ++ok;
 
     // Energy: harvest during dwell, drain during the gap.
-    const double spl = lb.carrier_spl_at_node(cross);
+    const double spl = lb.carrier_spl_at_node(common::Meters{cross}).raw();
     const double harvest_w =
         harvester.harvested_power_w(common::pressure_from_spl(spl), 18500.0);
     core::CapacitorConfig cc;
@@ -87,9 +87,10 @@ int main(int argc, char** argv) {
     double min_v = cap.voltage();
     bool alive = true;
     for (std::size_t p = 0; p < passes && alive; ++p) {
-      cap.charge(harvest_w, dwell_s);
-      cap.draw(power.rx_listen_w + power.backscatter_w * 0.1, dwell_s);
-      alive = cap.draw(idle_load, gap_s);
+      cap.charge(common::PowerW{harvest_w}, common::Seconds{dwell_s});
+      cap.draw(common::PowerW{power.rx_listen_w + power.backscatter_w * 0.1},
+               common::Seconds{dwell_s});
+      alive = cap.draw(common::PowerW{idle_load}, common::Seconds{gap_s});
       min_v = std::min(min_v, cap.voltage());
     }
     node_rows[i] = {cross, ok, harvest_w, min_v, alive};

@@ -31,11 +31,13 @@ int main(int argc, char** argv) {
 
   // What the link budget predicts.
   const sim::LinkBudget budget(s);
-  const auto lb = budget.evaluate(s.range_m);
-  std::cout << "link budget: TL(one-way) " << common::Table::num(lb.tl_one_way_db, 1)
-            << " dB | carrier at node " << common::Table::num(lb.received_at_node_db, 1)
-            << " dB re uPa | return " << common::Table::num(lb.modulated_return_db, 1)
-            << " dB | chip SNR " << common::Table::num(lb.snr_chip_db, 1)
+  const auto lb = budget.evaluate(common::Meters{s.range_m});
+  std::cout << "link budget: TL(one-way) "
+            << common::Table::num(lb.tl_one_way_db.raw(), 1) << " dB | carrier at node "
+            << common::Table::num(lb.received_at_node_db.raw(), 1)
+            << " dB re uPa | return "
+            << common::Table::num(lb.modulated_return_db.raw(), 1)
+            << " dB | chip SNR " << common::Table::num(lb.snr_chip_db.raw(), 1)
             << " dB | predicted BER " << common::Table::sci(lb.ber) << "\n\n";
 
   // One real trial through the full DSP chain.

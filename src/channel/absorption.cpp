@@ -5,7 +5,12 @@
 
 namespace vab::channel {
 
-double thorp_absorption_db_per_km(double f_khz) {
+namespace {
+// Interior math stays on raw doubles in the models' native dB/km-of-kHz
+// scale; the typed API wraps at the boundary. The loss expressions below
+// reproduce the historical `per_km * range_m / 1000` association exactly so
+// every seeded output is bit-identical.
+double thorp_db_per_km(double f_khz) {
   if (f_khz <= 0.0) throw std::invalid_argument("frequency must be > 0");
   const double f2 = f_khz * f_khz;
   return 0.11 * f2 / (1.0 + f2) + 44.0 * f2 / (4100.0 + f2) + 2.75e-4 * f2 + 0.003;
@@ -15,7 +20,6 @@ double francois_garrison_db_per_km(double f_khz, const WaterProperties& w) {
   if (f_khz <= 0.0) throw std::invalid_argument("frequency must be > 0");
   const double T = w.temperature_c;
   const double S = w.salinity_ppt;
-  const double D = w.depth_m / 1000.0;  // model uses km... (depth in m below)
   const double D_m = w.depth_m;
   const double f = f_khz;
   const double c = 1412.0 + 3.21 * T + 1.19 * S + 0.0167 * D_m;
@@ -43,18 +47,26 @@ double francois_garrison_db_per_km(double f_khz, const WaterProperties& w) {
   const double P3 = 1.0 - 3.83e-5 * D_m + 4.9e-10 * D_m * D_m;
 
   const double ff = f * f;
-  double alpha = A1 * P1 * f1 * ff / (f1 * f1 + ff) +
-                 A2 * P2 * f2 * ff / (f2 * f2 + ff) + A3 * P3 * ff;
-  (void)D;
-  return alpha;  // dB/km
+  return A1 * P1 * f1 * ff / (f1 * f1 + ff) + A2 * P2 * f2 * ff / (f2 * f2 + ff) +
+         A3 * P3 * ff;
+}
+}  // namespace
+
+common::DbPerM thorp_absorption(common::Hz f) {
+  return common::DbPerM::per_km(thorp_db_per_km(f.raw() / 1000.0));
 }
 
-double absorption_loss_db(double f_hz, double range_m) {
-  return thorp_absorption_db_per_km(f_hz / 1000.0) * range_m / 1000.0;
+common::DbPerM francois_garrison_absorption(common::Hz f, const WaterProperties& w) {
+  return common::DbPerM::per_km(francois_garrison_db_per_km(f.raw() / 1000.0, w));
 }
 
-double absorption_loss_db(double f_hz, double range_m, const WaterProperties& w) {
-  return francois_garrison_db_per_km(f_hz / 1000.0, w) * range_m / 1000.0;
+common::Db absorption_loss(common::Hz f, common::Meters range) {
+  return common::Db{thorp_db_per_km(f.raw() / 1000.0) * range.raw() / 1000.0};
+}
+
+common::Db absorption_loss(common::Hz f, common::Meters range, const WaterProperties& w) {
+  return common::Db{francois_garrison_db_per_km(f.raw() / 1000.0, w) * range.raw() /
+                    1000.0};
 }
 
 }  // namespace vab::channel

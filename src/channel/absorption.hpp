@@ -7,10 +7,9 @@
 // the chemical relaxation terms.
 #pragma once
 
-namespace vab::channel {
+#include "common/units.hpp"
 
-/// Thorp absorption coefficient in dB/km; `f_khz` in kHz.
-double thorp_absorption_db_per_km(double f_khz);
+namespace vab::channel {
 
 struct WaterProperties {
   double temperature_c = 10.0;  ///< Celsius
@@ -19,13 +18,16 @@ struct WaterProperties {
   double ph = 8.0;
 };
 
-/// Francois-Garrison absorption in dB/km at `f_khz` kHz.
-double francois_garrison_db_per_km(double f_khz, const WaterProperties& w);
+/// Thorp absorption coefficient at frequency `f`.
+common::DbPerM thorp_absorption(common::Hz f);
 
-/// Absorption loss in dB over `range_m` meters at `f_hz` Hz using Thorp.
-double absorption_loss_db(double f_hz, double range_m);
+/// Francois-Garrison absorption coefficient at `f`.
+common::DbPerM francois_garrison_absorption(common::Hz f, const WaterProperties& w);
 
-/// Absorption loss in dB using Francois-Garrison.
-double absorption_loss_db(double f_hz, double range_m, const WaterProperties& w);
+/// Absorption loss over `range` at `f` using Thorp.
+common::Db absorption_loss(common::Hz f, common::Meters range);
+
+/// Absorption loss using Francois-Garrison.
+common::Db absorption_loss(common::Hz f, common::Meters range, const WaterProperties& w);
 
 }  // namespace vab::channel

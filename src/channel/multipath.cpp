@@ -28,9 +28,14 @@ void count_bounces(double a, double b, double H, int& surface, int& bottom) {
 
 }  // namespace
 
-std::vector<PathTap> image_method_taps(double range_m, double src_depth_m,
-                                       double rx_depth_m, double sound_speed_mps,
+std::vector<PathTap> image_method_taps(common::Meters range,
+                                       common::Meters src_depth,
+                                       common::Meters rx_depth,
+                                       double sound_speed_mps,
                                        const MultipathConfig& cfg) {
+  const double range_m = range.raw();
+  const double src_depth_m = src_depth.raw();
+  const double rx_depth_m = rx_depth.raw();
   if (range_m <= 0.0) throw std::invalid_argument("range must be > 0");
   const double H = cfg.water_depth_m;
   if (H <= 0.0) throw std::invalid_argument("water depth must be > 0");
@@ -63,7 +68,10 @@ std::vector<PathTap> image_method_taps(double range_m, double src_depth_m,
                    std::pow(std::max(r, 1.0), -spread_exp);
       if (cfg.absorption_freq_hz > 0.0)
         amp *= std::pow(
-            10.0, -absorption_loss_db(cfg.absorption_freq_hz, r, cfg.water) / 20.0);
+            10.0, -absorption_loss(common::Hz{cfg.absorption_freq_hz},
+                                   common::Meters{r}, cfg.water)
+                       .raw() /
+                      20.0);
       if (amp < cfg.min_relative_amplitude * direct_amp) continue;
 
       const double sign = (s % 2 == 0) ? 1.0 : -1.0;

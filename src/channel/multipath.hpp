@@ -11,6 +11,7 @@
 
 #include "channel/absorption.hpp"
 #include "common/types.hpp"
+#include "common/units.hpp"
 
 namespace vab::channel {
 
@@ -48,8 +49,10 @@ struct PathTap {
 /// Enumerates image-method arrivals between a source at (0, src_depth) and a
 /// receiver at (range, rx_depth). Taps are sorted by delay; the first is the
 /// direct path.
-std::vector<PathTap> image_method_taps(double range_m, double src_depth_m,
-                                       double rx_depth_m, double sound_speed_mps,
+std::vector<PathTap> image_method_taps(common::Meters range,
+                                       common::Meters src_depth,
+                                       common::Meters rx_depth,
+                                       double sound_speed_mps,
                                        const MultipathConfig& cfg);
 
 /// RMS delay spread of a tap set (second moment of the power-delay profile).

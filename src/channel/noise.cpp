@@ -19,6 +19,39 @@ double db_sum(double a_db, double b_db) {
   return 10.0 * std::log10(std::pow(10.0, a_db / 10.0) + std::pow(10.0, b_db / 10.0));
 }
 
+// Interior Wenz math on raw doubles, bit-identical to the pre-units tree;
+// the typed API wraps at the boundary.
+double turbulence_nsd_db(double f_hz) {
+  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
+  return 17.0 - 30.0 * std::log10(f_khz);
+}
+
+double shipping_nsd_db(double f_hz, double s) {
+  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
+  return 40.0 + 20.0 * (s - 0.5) + 26.0 * std::log10(f_khz) -
+         60.0 * std::log10(f_khz + 0.03);
+}
+
+double wind_nsd_db(double f_hz, double w) {
+  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
+  return 50.0 + 7.5 * std::sqrt(std::max(w, 0.0)) + 20.0 * std::log10(f_khz) -
+         40.0 * std::log10(f_khz + 0.4);
+}
+
+double thermal_nsd_db(double f_hz) {
+  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
+  return -15.0 + 20.0 * std::log10(f_khz);
+}
+
+double ambient_nsd_db(double f_hz, const NoiseConditions& cond) {
+  double total = turbulence_nsd_db(f_hz);
+  total = db_sum(total, shipping_nsd_db(f_hz, cond.shipping));
+  total = db_sum(total, wind_nsd_db(f_hz, cond.wind_speed_mps));
+  total = db_sum(total, thermal_nsd_db(f_hz));
+  total = db_sum(total, cond.site_floor_db);
+  return total;
+}
+
 // Per-bin spectral amplitudes for synthesize_ambient_noise. The Wenz NSD
 // evaluation costs ~10 transcendentals per bin and depends only on
 // (nfft, fs, conditions) — not on the Rng — so a thread-local cache turns
@@ -68,51 +101,37 @@ const rvec& sigma_table(std::size_t nfft, double fs_hz, const NoiseConditions& c
 }
 }  // namespace
 
-double turbulence_nsd_db(double f_hz) {
-  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
-  return 17.0 - 30.0 * std::log10(f_khz);
+common::Db turbulence_nsd(common::Hz f) { return common::Db{turbulence_nsd_db(f.raw())}; }
+
+common::Db shipping_nsd(common::Hz f, double shipping_factor) {
+  return common::Db{shipping_nsd_db(f.raw(), shipping_factor)};
 }
 
-double shipping_nsd_db(double f_hz, double s) {
-  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
-  return 40.0 + 20.0 * (s - 0.5) + 26.0 * std::log10(f_khz) -
-         60.0 * std::log10(f_khz + 0.03);
+common::Db wind_nsd(common::Hz f, double wind_speed_mps) {
+  return common::Db{wind_nsd_db(f.raw(), wind_speed_mps)};
 }
 
-double wind_nsd_db(double f_hz, double w) {
-  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
-  return 50.0 + 7.5 * std::sqrt(std::max(w, 0.0)) + 20.0 * std::log10(f_khz) -
-         40.0 * std::log10(f_khz + 0.4);
+common::Db thermal_nsd(common::Hz f) { return common::Db{thermal_nsd_db(f.raw())}; }
+
+common::Db ambient_nsd(common::Hz f, const NoiseConditions& cond) {
+  return common::Db{ambient_nsd_db(f.raw(), cond)};
 }
 
-double thermal_nsd_db(double f_hz) {
-  const double f_khz = std::max(f_hz, 1e-3) / 1000.0;
-  return -15.0 + 20.0 * std::log10(f_khz);
+common::Db noise_level(common::Hz f, common::Hz bw, const NoiseConditions& cond) {
+  if (bw.raw() <= 0.0) throw std::invalid_argument("bandwidth must be > 0");
+  return common::Db{ambient_nsd_db(f.raw(), cond) + 10.0 * std::log10(bw.raw())};
 }
 
-double ambient_nsd_db(double f_hz, const NoiseConditions& cond) {
-  double total = turbulence_nsd_db(f_hz);
-  total = db_sum(total, shipping_nsd_db(f_hz, cond.shipping));
-  total = db_sum(total, wind_nsd_db(f_hz, cond.wind_speed_mps));
-  total = db_sum(total, thermal_nsd_db(f_hz));
-  total = db_sum(total, cond.site_floor_db);
-  return total;
-}
-
-double noise_level_db(double f_hz, double bw_hz, const NoiseConditions& cond) {
-  if (bw_hz <= 0.0) throw std::invalid_argument("bandwidth must be > 0");
-  return ambient_nsd_db(f_hz, cond) + 10.0 * std::log10(bw_hz);
-}
-
-rvec synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
-                              common::Rng& rng) {
+rvec synthesize_ambient_noise(std::size_t n, common::SampleRateHz fs,
+                              const NoiseConditions& cond, common::Rng& rng) {
   rvec out;
-  synthesize_ambient_noise(n, fs_hz, cond, rng, out);
+  synthesize_ambient_noise(n, fs, cond, rng, out);
   return out;
 }
 
-void synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
-                              common::Rng& rng, rvec& out) {
+void synthesize_ambient_noise(std::size_t n, common::SampleRateHz fs,
+                              const NoiseConditions& cond, common::Rng& rng, rvec& out) {
+  const double fs_hz = fs.raw();
   if (n == 0) {
     out.clear();
     return;

@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "common/units.hpp"
 
 namespace vab::channel {
 
@@ -22,29 +23,29 @@ struct NoiseConditions {
   double site_floor_db = -1000.0;
 };
 
-/// Wenz noise spectral density components at `f_hz` (dB re 1 uPa^2/Hz).
-double turbulence_nsd_db(double f_hz);
-double shipping_nsd_db(double f_hz, double shipping_factor);
-double wind_nsd_db(double f_hz, double wind_speed_mps);
-double thermal_nsd_db(double f_hz);
+/// Wenz noise spectral density components at `f` (dB re 1 uPa^2/Hz).
+common::Db turbulence_nsd(common::Hz f);
+common::Db shipping_nsd(common::Hz f, double shipping_factor);
+common::Db wind_nsd(common::Hz f, double wind_speed_mps);
+common::Db thermal_nsd(common::Hz f);
 
 /// Total Wenz noise spectral density (power sum of components + site floor).
-double ambient_nsd_db(double f_hz, const NoiseConditions& cond);
+common::Db ambient_nsd(common::Hz f, const NoiseConditions& cond);
 
-/// Noise level in dB re 1 uPa over bandwidth `bw_hz` centered at `f_hz`
-/// (NSD assumed flat over the band — true for our narrow signals).
-double noise_level_db(double f_hz, double bw_hz, const NoiseConditions& cond);
+/// Noise level in dB re 1 uPa over bandwidth `bw` centered at `f` (NSD
+/// assumed flat over the band — true for our narrow signals).
+common::Db noise_level(common::Hz f, common::Hz bw, const NoiseConditions& cond);
 
 /// Synthesizes `n` samples of real ambient noise (pressure in Pa) at sample
-/// rate `fs_hz` whose PSD follows the Wenz model: white Gaussian noise
-/// shaped in the frequency domain.
-rvec synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
-                              common::Rng& rng);
+/// rate `fs` whose PSD follows the Wenz model: white Gaussian noise shaped
+/// in the frequency domain.
+rvec synthesize_ambient_noise(std::size_t n, common::SampleRateHz fs,
+                              const NoiseConditions& cond, common::Rng& rng);
 
 /// Out-parameter form: same samples for the same Rng state, but the spectrum
 /// scratch comes from the thread-local dsp::Workspace and the inverse FFT
 /// runs in place, so steady-state synthesis does not allocate.
-void synthesize_ambient_noise(std::size_t n, double fs_hz, const NoiseConditions& cond,
-                              common::Rng& rng, rvec& out);
+void synthesize_ambient_noise(std::size_t n, common::SampleRateHz fs,
+                              const NoiseConditions& cond, common::Rng& rng, rvec& out);
 
 }  // namespace vab::channel

@@ -24,10 +24,14 @@ struct RayState {
 
 }  // namespace
 
-std::vector<RayArrival> trace_eigenrays(double range_m, double src_depth_m,
-                                        double rx_depth_m,
+std::vector<RayArrival> trace_eigenrays(common::Meters range,
+                                        common::Meters src_depth,
+                                        common::Meters rx_depth,
                                         const SoundSpeedProfile& profile,
                                         const RayTraceConfig& cfg) {
+  const double range_m = range.raw();
+  const double src_depth_m = src_depth.raw();
+  const double rx_depth_m = rx_depth.raw();
   if (range_m <= 0.0) throw std::invalid_argument("range must be > 0");
   const double H = cfg.water_depth_m;
   if (H <= 0.0 || src_depth_m < 0.0 || src_depth_m > H || rx_depth_m < 0.0 ||
@@ -99,7 +103,9 @@ std::vector<RayArrival> trace_eigenrays(double range_m, double src_depth_m,
                               20.0);
     if (cfg.absorption_freq_hz > 0.0)
       amp *= std::pow(10.0,
-                      -absorption_loss_db(cfg.absorption_freq_hz, s.path_m, cfg.water) /
+                      -absorption_loss(common::Hz{cfg.absorption_freq_hz},
+                                       common::Meters{s.path_m}, cfg.water)
+                              .raw() /
                           20.0);
     a.gain = (s.surf % 2 == 0 ? 1.0 : -1.0) * amp;
 

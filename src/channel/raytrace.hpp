@@ -14,6 +14,7 @@
 #include "channel/multipath.hpp"
 #include "channel/soundspeed.hpp"
 #include "common/types.hpp"
+#include "common/units.hpp"
 
 namespace vab::channel {
 
@@ -46,8 +47,9 @@ struct RayArrival {
 
 /// Traces a fan of rays from (0, src_depth) toward positive range and
 /// collects those passing near (range, rx_depth).
-std::vector<RayArrival> trace_eigenrays(double range_m, double src_depth_m,
-                                        double rx_depth_m,
+std::vector<RayArrival> trace_eigenrays(common::Meters range,
+                                        common::Meters src_depth,
+                                        common::Meters rx_depth,
                                         const SoundSpeedProfile& profile,
                                         const RayTraceConfig& cfg);
 

@@ -5,23 +5,23 @@
 
 namespace vab::channel {
 
-double spreading_loss_db(SpreadingModel model, double range_m) {
-  const double r = std::max(range_m, 1.0);
+common::Db spreading_loss(SpreadingModel model, common::Meters range) {
+  const double r = std::max(range.raw(), 1.0);
   switch (model) {
-    case SpreadingModel::kSpherical: return 20.0 * std::log10(r);
-    case SpreadingModel::kCylindrical: return 10.0 * std::log10(r);
-    case SpreadingModel::kPractical: return 15.0 * std::log10(r);
+    case SpreadingModel::kSpherical: return common::Db{20.0 * std::log10(r)};
+    case SpreadingModel::kCylindrical: return common::Db{10.0 * std::log10(r)};
+    case SpreadingModel::kPractical: return common::Db{15.0 * std::log10(r)};
   }
-  return 20.0 * std::log10(r);
+  return common::Db{20.0 * std::log10(r)};
 }
 
-double transmission_loss_db(double f_hz, double range_m, SpreadingModel model) {
-  return spreading_loss_db(model, range_m) + absorption_loss_db(f_hz, range_m);
+common::Db transmission_loss(common::Hz f, common::Meters range, SpreadingModel model) {
+  return spreading_loss(model, range) + absorption_loss(f, range);
 }
 
-double transmission_loss_db(double f_hz, double range_m, SpreadingModel model,
-                            const WaterProperties& w) {
-  return spreading_loss_db(model, range_m) + absorption_loss_db(f_hz, range_m, w);
+common::Db transmission_loss(common::Hz f, common::Meters range, SpreadingModel model,
+                             const WaterProperties& w) {
+  return spreading_loss(model, range) + absorption_loss(f, range, w);
 }
 
 }  // namespace vab::channel

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "channel/absorption.hpp"
+#include "common/units.hpp"
 
 namespace vab::channel {
 
@@ -11,16 +12,16 @@ enum class SpreadingModel {
   kPractical     ///< 15 log r — shallow-water rule of thumb
 };
 
-/// Spreading loss in dB at `range_m` (>= 1 m; clamped below that since TL is
+/// Spreading loss at `range` (>= 1 m; clamped below that since TL is
 /// referenced to 1 m).
-double spreading_loss_db(SpreadingModel model, double range_m);
+common::Db spreading_loss(SpreadingModel model, common::Meters range);
 
-/// One-way transmission loss (dB) = spreading + absorption (Thorp).
-double transmission_loss_db(double f_hz, double range_m,
-                            SpreadingModel model = SpreadingModel::kPractical);
+/// One-way transmission loss = spreading + absorption (Thorp).
+common::Db transmission_loss(common::Hz f, common::Meters range,
+                             SpreadingModel model = SpreadingModel::kPractical);
 
 /// One-way transmission loss with explicit water properties (F&G absorption).
-double transmission_loss_db(double f_hz, double range_m, SpreadingModel model,
-                            const WaterProperties& w);
+common::Db transmission_loss(common::Hz f, common::Meters range, SpreadingModel model,
+                             const WaterProperties& w);
 
 }  // namespace vab::channel

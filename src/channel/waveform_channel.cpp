@@ -96,7 +96,8 @@ void WaveformChannel::propagate(const rvec& tx, rvec& out) const {
   if (cfg_.add_noise) {
     auto noise_l = dsp::Workspace::local().take_r(0);
     rvec& noise = *noise_l;
-    synthesize_ambient_noise(out.size(), cfg_.fs_hz, cfg_.noise, *rng_, noise);
+    synthesize_ambient_noise(out.size(), common::SampleRateHz{cfg_.fs_hz}, cfg_.noise,
+                             *rng_, noise);
     for (std::size_t i = 0; i < out.size(); ++i) out[i] += noise[i];
   }
 }

@@ -16,14 +16,18 @@ StorageCapacitor::StorageCapacitor(CapacitorConfig cfg) : cfg_(cfg) {
   browned_out_ = cfg_.initial_voltage_v < cfg_.brownout_voltage_v;
 }
 
-void StorageCapacitor::charge(double power_w, double dt_s) {
+void StorageCapacitor::charge(common::PowerW power, common::Seconds dt) {
+  const double power_w = power.raw();
+  const double dt_s = dt.raw();
   if (power_w < 0.0 || dt_s < 0.0) throw std::invalid_argument("negative charge");
   energy_j_ =
       std::min(energy_j_ + power_w * dt_s, energy_for_voltage(cfg_.max_voltage_v));
   if (voltage() >= cfg_.brownout_voltage_v) browned_out_ = false;
 }
 
-bool StorageCapacitor::draw(double power_w, double dt_s) {
+bool StorageCapacitor::draw(common::PowerW power, common::Seconds dt) {
+  const double power_w = power.raw();
+  const double dt_s = dt.raw();
   if (power_w < 0.0 || dt_s < 0.0) throw std::invalid_argument("negative draw");
   const double need = power_w * dt_s;
   const double floor_e = energy_for_voltage(cfg_.brownout_voltage_v);
@@ -45,13 +49,17 @@ double StorageCapacitor::usable_energy_j() const {
   return std::max(energy_j_ - floor_e, 0.0);
 }
 
-double endurance_s(const CapacitorConfig& cfg, double load_w, double harvest_w) {
-  if (load_w <= harvest_w) return std::numeric_limits<double>::infinity();
+common::Seconds endurance(const CapacitorConfig& cfg, common::PowerW load,
+                          common::PowerW harvest) {
+  const double load_w = load.raw();
+  const double harvest_w = harvest.raw();
+  if (load_w <= harvest_w)
+    return common::Seconds{std::numeric_limits<double>::infinity()};
   StorageCapacitor cap(cfg);
   const double usable = 0.5 * cfg.capacitance_f *
                         (cfg.max_voltage_v * cfg.max_voltage_v -
                          cfg.brownout_voltage_v * cfg.brownout_voltage_v);
-  return usable / (load_w - harvest_w);
+  return common::Seconds{usable / (load_w - harvest_w)};
 }
 
 }  // namespace vab::core

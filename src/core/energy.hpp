@@ -9,6 +9,7 @@
 #include <cstddef>
 
 #include "common/types.hpp"
+#include "common/units.hpp"
 #include "piezo/harvester.hpp"
 
 namespace vab::core {
@@ -24,12 +25,12 @@ class StorageCapacitor {
  public:
   explicit StorageCapacitor(CapacitorConfig cfg);
 
-  /// Adds harvested energy over `dt` seconds (clamped at max voltage).
-  void charge(double power_w, double dt_s);
+  /// Adds harvested energy over `dt` (clamped at max voltage).
+  void charge(common::PowerW power, common::Seconds dt);
 
   /// Draws load energy over `dt`. Returns false (and freezes at the brownout
   /// voltage) if the capacitor cannot supply it.
-  bool draw(double power_w, double dt_s);
+  bool draw(common::PowerW power, common::Seconds dt);
 
   double voltage() const;
   double energy_j() const { return energy_j_; }
@@ -49,8 +50,9 @@ class StorageCapacitor {
   bool browned_out_ = false;
 };
 
-/// Endurance: seconds a fully-charged capacitor sustains `load_w` with a
+/// Endurance: how long a fully-charged capacitor sustains `load` with a
 /// given harvest input (infinite if harvest >= load).
-double endurance_s(const CapacitorConfig& cfg, double load_w, double harvest_w);
+common::Seconds endurance(const CapacitorConfig& cfg, common::PowerW load,
+                          common::PowerW harvest);
 
 }  // namespace vab::core

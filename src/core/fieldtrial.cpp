@@ -36,7 +36,8 @@ FieldTrialResult FieldTrial::run(VabReader& reader, VabNode& node) {
   rvec at_node = fwd.propagate_clean(downlink);
   {
     const rvec noise =
-        channel::synthesize_ambient_noise(at_node.size(), fs, scenario_.env.noise, *rng_);
+        channel::synthesize_ambient_noise(at_node.size(), common::SampleRateHz{fs},
+                                          scenario_.env.noise, *rng_);
     for (std::size_t i = 0; i < at_node.size(); ++i) at_node[i] += noise[i];
   }
   res.downlink_spl_at_node_db = common::spl_from_pressure(dsp::rms(at_node));
@@ -124,7 +125,8 @@ FieldTrialResult FieldTrial::run(VabReader& reader, VabNode& node) {
               rx.begin() + static_cast<std::ptrdiff_t>(tail));
   {
     const rvec noise =
-        channel::synthesize_ambient_noise(rx.size(), fs, scenario_.env.noise, *rng_);
+        channel::synthesize_ambient_noise(rx.size(), common::SampleRateHz{fs},
+                                          scenario_.env.noise, *rng_);
     for (std::size_t i = 0; i < rx.size(); ++i) rx[i] += noise[i];
   }
 

@@ -47,7 +47,10 @@ NetworkResult NetworkSimulator::run(std::size_t rounds, std::size_t payload_byte
       s.node.orientation_rad = nodes_[i].orientation_rad;
       const sim::LinkBudget budget(s);
       const double fade = rng.gaussian(0.0, s.env.fading_sigma_db);
-      const double ber = budget.evaluate(nodes_[i].range_m, fade).ber;
+      const double ber = budget
+                             .evaluate(common::Meters{nodes_[i].range_m},
+                                       common::Db{fade})
+                             .ber;
       const double per = phy::packet_error_rate(ber, frame_bits);
       ++res.packets_attempted;
       const bool impaired =

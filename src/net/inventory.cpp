@@ -26,7 +26,7 @@ PollOutcome poll_exchange(ReaderMac& reader, NodeMac& node,
   const mcs::McsEntry* entry =
       reader.mcs_enabled() ? reader.uplink_entry(node.address()) : nullptr;
   const double slot_s =
-      entry ? entry->slot_duration_s(t.slot_payload_bytes) : t.slot_duration_s();
+      entry ? entry->slot_duration(t.slot_payload_bytes).raw() : t.slot_duration_s();
   const double timeout_s = entry ? 1.5 * slot_s : t.reply_timeout_s();
   // Feeds the poll outcome into the node's rate controller. Only polls that
   // reached the uplink leg carry channel information: the reader's

@@ -242,7 +242,7 @@ const mcs::McsEntry* ReaderMac::uplink_entry(std::uint8_t addr) {
   return &ladder_->rung(rung_of(addr));
 }
 
-void ReaderMac::observe_link(std::uint8_t addr, std::optional<double> snr_ref_db,
+void ReaderMac::observe_link(std::uint8_t addr, std::optional<common::SnrDb> snr_ref,
                              bool delivered) {
   if (ladder_ == nullptr) return;
   mcs::RateController& ctl = controller_for(addr);
@@ -251,7 +251,7 @@ void ReaderMac::observe_link(std::uint8_t addr, std::optional<double> snr_ref_db
   McsMetrics::get()
       .rung_polls.with({{"rung", ladder_->rung(used).name}})
       .inc();
-  const int step = ctl.observe(snr_ref_db, delivered);
+  const int step = ctl.observe(snr_ref, delivered);
   if (step > 0) {
     ++mcs_steps_up_;
     McsMetrics::get().steps_up.inc();

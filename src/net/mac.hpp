@@ -178,7 +178,7 @@ class ReaderMac {
   /// Feeds one poll outcome (and the transport's SNR measurement, if any)
   /// into `addr`'s rate controller; steps the rung when the controller
   /// crosses a threshold. Per-rung residency and step counts land in obs.
-  void observe_link(std::uint8_t addr, std::optional<double> snr_ref_db,
+  void observe_link(std::uint8_t addr, std::optional<common::SnrDb> snr_ref,
                     bool delivered);
   std::size_t mcs_steps_up() const { return mcs_steps_up_; }
   std::size_t mcs_steps_down() const { return mcs_steps_down_; }

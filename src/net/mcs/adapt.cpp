@@ -10,30 +10,31 @@ RateController::RateController(const McsLadder& ladder, AdaptConfig cfg)
   sustain_snr_db_.reserve(ladder.size());
   for (std::size_t r = 0; r < ladder.size(); ++r) {
     sustain_snr_db_.push_back(
-        ladder.snr_for_delivery(r, cfg_.target_delivery, cfg_.frame_bits));
+        ladder.snr_for_delivery(r, cfg_.target_delivery, cfg_.frame_bits).raw());
   }
   rung_ = std::min(cfg_.start_rung, ladder.size() - 1);
   delivery_ewma_ = cfg_.target_delivery;
 }
 
-double RateController::down_threshold_db(std::size_t rung_index) const {
-  if (rung_index == 0) return -std::numeric_limits<double>::infinity();
-  return sustain_snr_db_[rung_index];
+common::SnrDb RateController::down_threshold(std::size_t rung_index) const {
+  if (rung_index == 0)
+    return common::SnrDb{-std::numeric_limits<double>::infinity()};
+  return common::SnrDb{sustain_snr_db_[rung_index]};
 }
 
-double RateController::up_threshold_db(std::size_t rung_index) const {
+common::SnrDb RateController::up_threshold(std::size_t rung_index) const {
   if (rung_index + 1 >= sustain_snr_db_.size())
-    return std::numeric_limits<double>::infinity();
-  return sustain_snr_db_[rung_index + 1] + cfg_.hysteresis_db;
+    return common::SnrDb{std::numeric_limits<double>::infinity()};
+  return common::SnrDb{sustain_snr_db_[rung_index + 1] + cfg_.hysteresis_db};
 }
 
-int RateController::observe(std::optional<double> snr_ref_db, bool delivered) {
+int RateController::observe(std::optional<common::SnrDb> snr_ref, bool delivered) {
   ++polls_;
-  if (snr_ref_db.has_value()) {
+  if (snr_ref.has_value()) {
     if (snr_ewma_.has_value()) {
-      *snr_ewma_ += cfg_.ewma_alpha * (*snr_ref_db - *snr_ewma_);
+      *snr_ewma_ += cfg_.ewma_alpha * (snr_ref->raw() - *snr_ewma_);
     } else {
-      snr_ewma_ = *snr_ref_db;
+      snr_ewma_ = snr_ref->raw();
     }
   }
   const double sample = delivered ? 1.0 : 0.0;
@@ -51,9 +52,9 @@ int RateController::try_step() {
   if (polls_ - polls_at_change_ < cfg_.min_dwell_polls) return 0;
   int dir = 0;
   if (snr_ewma_.has_value()) {
-    if (*snr_ewma_ < down_threshold_db(rung_)) {
+    if (*snr_ewma_ < down_threshold(rung_).raw()) {
       dir = -1;
-    } else if (*snr_ewma_ > up_threshold_db(rung_)) {
+    } else if (*snr_ewma_ > up_threshold(rung_).raw()) {
       dir = +1;
     }
   } else if (have_outcome_) {

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/units.hpp"
 #include "net/mcs/mcs.hpp"
 
 namespace vab::net::mcs {
@@ -49,11 +50,11 @@ class RateController {
  public:
   RateController(const McsLadder& ladder, AdaptConfig cfg);
 
-  /// Feeds one poll observation. `snr_ref_db` is the transport's measured
+  /// Feeds one poll observation. `snr_ref` is the transport's measured
   /// link SNR when it has one (reference scale); `delivered` is whether the
   /// report decoded. Returns +1 / -1 when the controller stepped up / down
   /// as a result, 0 otherwise.
-  int observe(std::optional<double> snr_ref_db, bool delivered);
+  int observe(std::optional<common::SnrDb> snr_ref, bool delivered);
 
   /// Forgets link state (node demoted to re-discovery): rung returns to
   /// start_rung, EWMAs and dwell reset.
@@ -64,15 +65,15 @@ class RateController {
   std::size_t steps_up() const { return steps_up_; }
   std::size_t steps_down() const { return steps_down_; }
   bool has_snr() const { return snr_ewma_.has_value(); }
-  double snr_ewma_db() const { return snr_ewma_.value_or(0.0); }
+  common::SnrDb snr_ewma() const { return common::SnrDb{snr_ewma_.value_or(0.0)}; }
   double delivery_ewma() const { return delivery_ewma_; }
 
   /// SNR below which `rung` cannot sustain the delivery target (step-down
-  /// threshold; -inf conceptually for the bottom rung).
-  double down_threshold_db(std::size_t rung_index) const;
+  /// threshold; -inf for the bottom rung).
+  common::SnrDb down_threshold(std::size_t rung_index) const;
   /// SNR above which the rung *above* `rung_index` sustains the target with
-  /// hysteresis margin (step-up threshold; +inf conceptually at the top).
-  double up_threshold_db(std::size_t rung_index) const;
+  /// hysteresis margin (step-up threshold; +inf at the top).
+  common::SnrDb up_threshold(std::size_t rung_index) const;
 
  private:
   int try_step();

@@ -34,22 +34,24 @@ std::size_t McsEntry::chips_per_bit() const {
   return 2;
 }
 
-double McsEntry::code_margin_db() const {
+common::Db McsEntry::code_margin() const {
   switch (code) {
-    case phy::UplinkCode::kMiller2: return kMillerMarginDbPerDoubling;
-    case phy::UplinkCode::kMiller4: return 2.0 * kMillerMarginDbPerDoubling;
+    case phy::UplinkCode::kMiller2: return common::Db{kMillerMarginDbPerDoubling};
+    case phy::UplinkCode::kMiller4:
+      return common::Db{2.0 * kMillerMarginDbPerDoubling};
     case phy::UplinkCode::kFm0: break;
   }
-  return 0.0;
+  return common::Db{0.0};
 }
 
-double McsEntry::ber(double snr_ref_db) const {
+double McsEntry::ber(common::SnrDb snr_ref) const {
   // Energy conservation: the received power is fixed, so chip energy scales
   // as 1/chip_rate. The reference rung's offset is exactly 0.0 dB, keeping
   // its curve bit-identical to the legacy ber_fm0 path.
   const double offset_db =
-      10.0 * std::log10(kReferenceChipRateHz / chip_rate_hz()) + code_margin_db();
-  const double snr_chip = std::pow(10.0, (snr_ref_db + offset_db) / 10.0);
+      10.0 * std::log10(kReferenceChipRateHz / chip_rate().raw()) +
+      code_margin().raw();
+  const double snr_chip = std::pow(10.0, (snr_ref.raw() + offset_db) / 10.0);
   // A bit decision coherently combines chips_per_bit chips; FM0's two-chip
   // combining is the ber_fm0 convention, so the generic expression scales
   // the antipodal argument by chips_per_bit/2 (1.0 for FM0).
@@ -57,9 +59,9 @@ double McsEntry::ber(double snr_ref_db) const {
   return phy::ber_fm0(combining * snr_chip);
 }
 
-double McsEntry::frame_delivery_prob(double snr_ref_db,
+double McsEntry::frame_delivery_prob(common::SnrDb snr_ref,
                                      std::size_t payload_bits) const {
-  const double p = ber(snr_ref_db);
+  const double p = ber(snr_ref);
   if (!fec) return std::pow(1.0 - p, static_cast<double>(payload_bits));
   // One Hamming block per 4 data bits (nibble-padded, matching FrameCodec).
   const double blocks = static_cast<double>((payload_bits + 3) / 4);
@@ -71,13 +73,13 @@ std::size_t McsEntry::air_bits(std::size_t payload_bits) const {
   return (payload_bits + 3) / 4 * 7;  // nibble-padded Hamming(7,4)
 }
 
-double McsEntry::slot_duration_s(std::size_t slot_payload_bytes) const {
+common::Seconds McsEntry::slot_duration(std::size_t slot_payload_bytes) const {
   // Mirrors MacTiming::slot_duration_s: frame bytes on the air at this
   // rung's bitrate (FEC expansion included), 10 ms preamble/idle overhead,
   // 20% margin.
   const std::size_t frame_bits = (4 + slot_payload_bytes + 2) * 8;
   const double bits = static_cast<double>(air_bits(frame_bits));
-  return 1.2 * (bits / bitrate_bps + 0.010);
+  return common::Seconds{1.2 * (bits / bitrate_bps + 0.010)};
 }
 
 void McsEntry::apply(phy::PhyConfig& phy, phy::FecConfig& fec_cfg) const {
@@ -98,8 +100,8 @@ McsLadder::McsLadder(std::vector<McsEntry> rungs) : rungs_(std::move(rungs)) {
   // Robustness order: a faster rung must also need strictly more SNR for
   // the same frame delivery, or "step down" would not buy robustness.
   for (std::size_t i = 1; i < rungs_.size(); ++i) {
-    const double lo = snr_for_delivery(i - 1, 0.5, kValidationFrameBits);
-    const double hi = snr_for_delivery(i, 0.5, kValidationFrameBits);
+    const common::SnrDb lo = snr_for_delivery(i - 1, 0.5, kValidationFrameBits);
+    const common::SnrDb hi = snr_for_delivery(i, 0.5, kValidationFrameBits);
     if (!(hi > lo))
       throw std::invalid_argument(
           "MCS ladder not ordered by waterfall SNR at rung " + std::to_string(i));
@@ -123,21 +125,21 @@ const McsEntry& McsLadder::rung(std::size_t i) const {
   return rungs_[i];
 }
 
-double McsLadder::snr_for_delivery(std::size_t rung_index, double target,
-                                   std::size_t payload_bits) const {
+common::SnrDb McsLadder::snr_for_delivery(std::size_t rung_index, double target,
+                                          std::size_t payload_bits) const {
   const McsEntry& e = rung(rung_index);
   if (!(target > 0.0 && target < 1.0))
     throw std::invalid_argument("delivery target outside (0, 1)");
   double lo = -40.0, hi = 40.0;
   for (int it = 0; it < 80; ++it) {
     const double mid = 0.5 * (lo + hi);
-    if (e.frame_delivery_prob(mid, payload_bits) < target) {
+    if (e.frame_delivery_prob(common::SnrDb{mid}, payload_bits) < target) {
       lo = mid;
     } else {
       hi = mid;
     }
   }
-  return 0.5 * (lo + hi);
+  return common::SnrDb{0.5 * (lo + hi)};
 }
 
 }  // namespace vab::net::mcs

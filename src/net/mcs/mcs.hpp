@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
 #include "phy/fec.hpp"
 #include "phy/modem.hpp"
 
@@ -56,24 +57,24 @@ struct McsEntry {
 
   /// Chips per channel bit for the line code (2 / 4 / 8).
   std::size_t chips_per_bit() const;
-  double chip_rate_hz() const {
-    return static_cast<double>(chips_per_bit()) * bitrate_bps;
+  common::Hz chip_rate() const {
+    return common::Hz{static_cast<double>(chips_per_bit()) * bitrate_bps};
   }
   /// Net data rate after the FEC rate penalty (4/7 when coded).
   double data_rate_bps() const {
     return bitrate_bps * (fec ? 4.0 / 7.0 : 1.0);
   }
-  /// Miller clutter-rejection margin relative to FM0 (dB, >= 0).
-  double code_margin_db() const;
+  /// Miller clutter-rejection margin relative to FM0 (>= 0 dB).
+  common::Db code_margin() const;
 
-  /// Channel-bit error rate at reference-scale SNR `snr_ref_db`.
-  double ber(double snr_ref_db) const;
+  /// Channel-bit error rate at reference-scale SNR `snr_ref`.
+  double ber(common::SnrDb snr_ref) const;
 
   /// Probability a `payload_bits`-bit frame decodes (CRC-clean) at
   /// reference-scale SNR, including the FEC's single-error-per-block
   /// correction when enabled. At the reference rung this reproduces the
   /// legacy uncoded FM0 expression bit-for-bit.
-  double frame_delivery_prob(double snr_ref_db, std::size_t payload_bits) const;
+  double frame_delivery_prob(common::SnrDb snr_ref, std::size_t payload_bits) const;
 
   /// Bits on the air for `payload_bits` of frame data (FEC expansion).
   std::size_t air_bits(std::size_t payload_bits) const;
@@ -81,7 +82,7 @@ struct McsEntry {
   /// Uplink slot duration for a `slot_payload_bytes` MAC payload; the MCS
   /// analogue of MacTiming::slot_duration_s (identical at the reference
   /// rung so legacy airtime accounting is unchanged).
-  double slot_duration_s(std::size_t slot_payload_bytes) const;
+  common::Seconds slot_duration(std::size_t slot_payload_bytes) const;
 
   /// Reconfigure-on-change hook (the dragonradio MCS.hh pattern): writes
   /// this rung's modem + FEC state into the node's PHY configuration.
@@ -112,8 +113,8 @@ class McsLadder {
 
   /// Reference-scale SNR where `rung`'s frame delivery crosses `target`
   /// for a `payload_bits` frame (bisection; delivery is monotone in SNR).
-  double snr_for_delivery(std::size_t rung, double target,
-                          std::size_t payload_bits) const;
+  common::SnrDb snr_for_delivery(std::size_t rung, double target,
+                                 std::size_t payload_bits) const;
 
  private:
   std::vector<McsEntry> rungs_;

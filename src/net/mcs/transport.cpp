@@ -19,13 +19,13 @@ bool AnalyticMcsTransport::downlink_delivered(std::uint8_t /*addr*/,
 bool AnalyticMcsTransport::uplink_delivered(std::uint8_t addr, bytes& wire,
                                             common::Rng& rng) {
   const McsEntry& e = entry_for(addr);
-  double snr = snr_db(addr);
+  double snr = snr_db(addr).raw();
   // Fixed draw order and count regardless of rung: fade first (only when
   // fading is on), then the delivery coin, then the extra erasure coin.
   if (cfg_.fading_sigma_db > 0.0) snr += rng.gaussian(0.0, cfg_.fading_sigma_db);
-  last_snr_db_ = snr;
+  last_snr_db_ = common::SnrDb{snr};
   const std::size_t bits = wire.size() * 8;
-  bool ok = rng.coin(e.frame_delivery_prob(snr, bits));
+  bool ok = rng.coin(e.frame_delivery_prob(common::SnrDb{snr}, bits));
   if (cfg_.reply_loss_prob > 0.0 && !rng.coin(1.0 - cfg_.reply_loss_prob))
     ok = false;
   return ok;
@@ -40,12 +40,12 @@ void AnalyticMcsTransport::set_uplink_mcs(std::uint8_t addr, const McsEntry* ent
   commanded_[addr] = entry;
 }
 
-void AnalyticMcsTransport::set_snr_db(std::uint8_t addr, double snr_ref_db) {
-  snr_override_[addr] = snr_ref_db;
+void AnalyticMcsTransport::set_snr_db(std::uint8_t addr, common::SnrDb snr_ref) {
+  snr_override_[addr] = snr_ref;
 }
 
-double AnalyticMcsTransport::snr_db(std::uint8_t addr) const {
-  return snr_override_[addr].value_or(cfg_.snr_ref_db);
+common::SnrDb AnalyticMcsTransport::snr_db(std::uint8_t addr) const {
+  return snr_override_[addr].value_or(common::SnrDb{cfg_.snr_ref_db});
 }
 
 const McsEntry& AnalyticMcsTransport::entry_for(std::uint8_t addr) const {

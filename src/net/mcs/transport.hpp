@@ -42,20 +42,22 @@ class AnalyticMcsTransport final : public LinkTransport {
   bool ack_delivered(std::uint8_t addr, common::Rng& rng) override;
 
   void set_uplink_mcs(std::uint8_t addr, const McsEntry* entry) override;
-  std::optional<double> last_uplink_snr_db() const override { return last_snr_db_; }
+  std::optional<common::SnrDb> last_uplink_snr_db() const override {
+    return last_snr_db_;
+  }
 
   /// Overrides the link SNR for one address (heterogeneous populations).
-  void set_snr_db(std::uint8_t addr, double snr_ref_db);
+  void set_snr_db(std::uint8_t addr, common::SnrDb snr_ref);
 
-  double snr_db(std::uint8_t addr) const;
+  common::SnrDb snr_db(std::uint8_t addr) const;
   const McsEntry& entry_for(std::uint8_t addr) const;
 
  private:
   const McsLadder* ladder_;
   AnalyticMcsConfig cfg_;
-  std::array<std::optional<double>, 256> snr_override_{};
+  std::array<std::optional<common::SnrDb>, 256> snr_override_{};
   std::array<const McsEntry*, 256> commanded_{};
-  std::optional<double> last_snr_db_;
+  std::optional<common::SnrDb> last_snr_db_;
 };
 
 }  // namespace vab::net::mcs

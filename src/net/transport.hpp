@@ -18,6 +18,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "common/units.hpp"
 
 namespace vab::net {
 
@@ -52,11 +53,13 @@ class LinkTransport {
     (void)entry;
   }
 
-  /// Link SNR (reference scale, dB) the most recent uplink_delivered call
+  /// Link SNR (reference scale) the most recent uplink_delivered call
   /// for any address was evaluated at, when the model measures one. The
   /// MAC feeds this into per-node rate controllers; loss-coin models return
   /// nullopt and the controller falls back to delivery-outcome feedback.
-  virtual std::optional<double> last_uplink_snr_db() const { return std::nullopt; }
+  virtual std::optional<common::SnrDb> last_uplink_snr_db() const {
+    return std::nullopt;
+  }
 };
 
 /// The historical clean-channel model: independent loss coins per leg, with

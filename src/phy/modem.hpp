@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "common/types.hpp"
+#include "common/units.hpp"
 #include "phy/sic.hpp"
 
 namespace vab::phy {
@@ -51,6 +52,18 @@ struct PhyConfig {
   std::size_t decimation() const;
   double fs_baseband_hz() const { return fs_hz / static_cast<double>(decimation()); }
   double samples_per_chip_bb() const { return fs_baseband_hz() / chip_rate_hz(); }
+
+  /// Typed views of the unit-bearing fields, for callers migrating onto the
+  /// strong-unit API (the raw fields above stay authoritative for configs).
+  common::SampleRateHz fs() const { return common::SampleRateHz{fs_hz}; }
+  common::Hz carrier() const { return common::Hz{carrier_hz}; }
+  common::Hz chip_rate() const { return common::Hz{chip_rate_hz()}; }
+  common::SampleRateHz fs_baseband() const {
+    return common::SampleRateHz{fs_baseband_hz()};
+  }
+  common::Seconds chip_duration() const {
+    return common::Seconds{1.0 / chip_rate_hz()};
+  }
 };
 
 /// Node-side modulator: produces the per-sample switch state (0/1 at fs)

@@ -315,14 +315,14 @@ std::vector<WaveformStats> merge_waveform_batch_campaign(
   return out;
 }
 
-BerShardResult run_linkbudget_shard(const LinkBudget& budget, double range_m,
+BerShardResult run_linkbudget_shard(const LinkBudget& budget, common::Meters range,
                                     std::size_t trials, std::size_t bits_per_trial,
                                     const common::Rng& rng,
                                     const CampaignConfig& cfg) {
   VAB_STAGE("campaign.linkbudget_shard");
   return run_shard<LinkBudget::BerTrialOutcome>(
       "linkbudget", trials, cfg, [&](std::size_t t) {
-        return budget.monte_carlo_trial(range_m, bits_per_trial, rng, t);
+        return budget.monte_carlo_trial(range, bits_per_trial, rng, t);
       });
 }
 
@@ -334,11 +334,14 @@ LinkBudget::BerStats merge_linkbudget_campaign(
 }
 
 MismatchShardResult run_mismatch_shard(const vanatta::VanAttaConfig& array_cfg,
-                                       double theta_rad, double f_hz,
-                                       double sigma_phase_rad, double sigma_gain_db,
+                                       double theta_rad, common::Hz f,
+                                       double sigma_phase_rad,
+                                       common::Db sigma_gain,
                                        std::size_t trials, const common::Rng& rng,
                                        const CampaignConfig& cfg) {
   VAB_STAGE("campaign.mismatch_shard");
+  const double f_hz = f.raw();
+  const double sigma_gain_db = sigma_gain.raw();
   const vanatta::VanAttaArray clean(array_cfg);
   const double clean_gain = clean.monostatic_gain_db(theta_rad, f_hz);
   return run_shard<double>("mismatch", trials, cfg, [&](std::size_t t) {

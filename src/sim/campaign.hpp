@@ -29,6 +29,7 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "sim/linkbudget.hpp"
 #include "sim/montecarlo.hpp"
 #include "sim/scenario.hpp"
@@ -114,7 +115,7 @@ std::vector<WaveformStats> merge_waveform_batch_campaign(
     const std::vector<WaveformJob>& jobs);
 
 /// Shard of LinkBudget::monte_carlo at one range.
-BerShardResult run_linkbudget_shard(const LinkBudget& budget, double range_m,
+BerShardResult run_linkbudget_shard(const LinkBudget& budget, common::Meters range,
                                     std::size_t trials, std::size_t bits_per_trial,
                                     const common::Rng& rng,
                                     const CampaignConfig& cfg);
@@ -125,8 +126,9 @@ LinkBudget::BerStats merge_linkbudget_campaign(
 
 /// Shard of vanatta::mismatch_monte_carlo.
 MismatchShardResult run_mismatch_shard(const vanatta::VanAttaConfig& array_cfg,
-                                       double theta_rad, double f_hz,
-                                       double sigma_phase_rad, double sigma_gain_db,
+                                       double theta_rad, common::Hz f,
+                                       double sigma_phase_rad,
+                                       common::Db sigma_gain,
                                        std::size_t trials, const common::Rng& rng,
                                        const CampaignConfig& cfg);
 

@@ -70,7 +70,7 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
   res.nodes = cfg.n_nodes;
 
   const FleetLayout layout = make_layout(cfg, rng);
-  const SpatialGrid grid(layout.nodes, cfg.cell_size_m);
+  const SpatialGrid grid(layout.nodes, common::Meters{cfg.cell_size_m});
 
   // Nearest-reader assignment via range-culled grid queries. Equal ranges
   // resolve to the lowest reader id (strict improvement required), so the
@@ -79,7 +79,7 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
   std::vector<std::uint32_t> best_reader(cfg.n_nodes, 0xFFFFFFFFU);
   std::vector<std::uint32_t> in_range;
   for (std::size_t r = 0; r < cfg.n_readers; ++r) {
-    grid.query(layout.readers[r], cfg.max_link_range_m, in_range);
+    grid.query(layout.readers[r], common::Meters{cfg.max_link_range_m}, in_range);
     for (const std::uint32_t id : in_range) {
       const double d = distance_m(layout.readers[r], layout.nodes[id]);
       if (d < best_range[id]) {
@@ -105,10 +105,12 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
   transports.reserve(cfg.n_readers);
   for (std::size_t r = 0; r < cfg.n_readers; ++r) {
     transports.push_back(std::make_unique<FleetLinkTransport>(
-        cfg.scenario, cfg.fidelity, cfg.contention_penalty_db, wire_bits));
+        cfg.scenario, cfg.fidelity, common::Db{cfg.contention_penalty_db},
+        wire_bits));
     if (cfg.mac_mode == MacMode::kSlotted) transports.back()->set_slotted_mode(true);
   }
-  if (!transports.empty()) res.waterfall_snr_db = transports[0]->waterfall_snr_db();
+  if (!transports.empty())
+    res.waterfall_snr_db = transports[0]->waterfall_snr_db().raw();
 
   // Readers with work all start at t = 0: the queue's FIFO tie-break makes
   // the first round pop in reader-id order by construction.
@@ -183,7 +185,7 @@ FleetResult run_fleet(const FleetConfig& cfg, const common::Rng& rng) {
       for (std::size_t k = 0; k < wl.size(); ++k) {
         net::anticollision::Contender c;
         c.id = static_cast<std::uint16_t>(k);
-        c.rx_power_rel = std::pow(10.0, wl[k].snr_db / 10.0);
+        c.rx_power_rel = wl[k].snr_db.to_linear().raw();
         c.delivery_prob =
             FleetLinkTransport::frame_delivery_prob(wl[k].snr_db, wire_bits);
         contenders_in.push_back(c);

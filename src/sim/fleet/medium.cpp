@@ -12,8 +12,9 @@ double distance_m(const Position& a, const Position& b) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-SpatialGrid::SpatialGrid(std::vector<Position> points, double cell_size_m)
-    : points_(std::move(points)), cell_size_m_(cell_size_m > 0.0 ? cell_size_m : 1.0) {
+SpatialGrid::SpatialGrid(std::vector<Position> points, common::Meters cell_size)
+    : points_(std::move(points)),
+      cell_size_m_(cell_size.raw() > 0.0 ? cell_size.raw() : 1.0) {
   double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
   if (!points_.empty()) {
     min_x = max_x = points_.front().x_m;
@@ -54,8 +55,9 @@ std::size_t SpatialGrid::cell_of(const Position& p) const {
   return cy * nx_ + cx;
 }
 
-void SpatialGrid::query(const Position& p, double radius_m,
+void SpatialGrid::query(const Position& p, common::Meters radius,
                         std::vector<std::uint32_t>& out) const {
+  const double radius_m = radius.raw();
   out.clear();
   if (points_.empty() || !(radius_m >= 0.0)) return;
   const auto cell_range = [&](double v, double mn, std::size_t n) {

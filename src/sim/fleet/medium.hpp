@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/units.hpp"
+
 namespace vab::sim::fleet {
 
 /// Planar deployment coordinate (meters). Depth differences are folded into
@@ -26,13 +28,13 @@ double distance_m(const Position& a, const Position& b);
 
 class SpatialGrid {
  public:
-  /// Builds the partition over `points` with square cells of `cell_size_m`
+  /// Builds the partition over `points` with square cells of `cell_size`
   /// (values <= 0 fall back to 1 m). Degenerate inputs (no points, all
   /// points coincident) produce a 1x1 grid.
-  SpatialGrid(std::vector<Position> points, double cell_size_m);
+  SpatialGrid(std::vector<Position> points, common::Meters cell_size);
 
-  /// Ids of all points within `radius_m` of `p` (inclusive), ascending.
-  void query(const Position& p, double radius_m,
+  /// Ids of all points within `radius` of `p` (inclusive), ascending.
+  void query(const Position& p, common::Meters radius,
              std::vector<std::uint32_t>& out) const;
 
   std::size_t size() const { return points_.size(); }

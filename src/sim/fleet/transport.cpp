@@ -31,18 +31,18 @@ void bits_to_bytes(const bitvec& in, bytes& out) {
 
 FleetLinkTransport::FleetLinkTransport(const Scenario& base,
                                        const FidelityPolicy& policy,
-                                       double contention_penalty_db,
+                                       common::Db contention_penalty,
                                        std::size_t report_bits)
     : base_(base),
       policy_(policy),
-      contention_penalty_db_(contention_penalty_db),
+      contention_penalty_db_(contention_penalty.raw()),
       budget_(base) {
   // Waterfall SNR: where frame delivery crosses 50% for the representative
   // wire length. frame_delivery_prob is monotone in SNR, so bisect.
   double lo = -30.0, hi = 30.0;
   for (int it = 0; it < 60; ++it) {
     const double mid = 0.5 * (lo + hi);
-    if (frame_delivery_prob(mid, report_bits) < 0.5) {
+    if (frame_delivery_prob(common::SnrDb{mid}, report_bits) < 0.5) {
       lo = mid;
     } else {
       hi = mid;
@@ -51,15 +51,16 @@ FleetLinkTransport::FleetLinkTransport(const Scenario& base,
   waterfall_snr_db_ = 0.5 * (lo + hi);
 }
 
-double FleetLinkTransport::frame_delivery_prob(double snr_db, std::size_t bits) {
-  const double ber = phy::ber_fm0(std::pow(10.0, snr_db / 10.0));
+double FleetLinkTransport::frame_delivery_prob(common::SnrDb snr, std::size_t bits) {
+  const double ber = phy::ber_fm0(std::pow(10.0, snr.raw() / 10.0));
   return std::pow(1.0 - ber, static_cast<double>(bits));
 }
 
 void FleetLinkTransport::begin_window(std::vector<LinkInfo> links,
                                       common::Rng wave_stream) {
   links_ = std::move(links);
-  for (LinkInfo& l : links_) l.snr_db = budget_.evaluate(l.range_m).snr_chip_db;
+  for (LinkInfo& l : links_)
+    l.snr_db = budget_.evaluate(common::Meters{l.range_m}).snr_chip_db;
   wave_ = std::vector<std::unique_ptr<WaveLink>>(links_.size());
   mcs_.assign(links_.size(), nullptr);
   wave_stream_ = wave_stream;
@@ -141,7 +142,7 @@ bool FleetLinkTransport::uplink_delivered(std::uint8_t addr, bytes& wire,
   const double penalty_db =
       slotted_mode_ ? 0.0
                     : static_cast<double>(contention_) * contention_penalty_db_;
-  const double snr_eff = link.snr_db - penalty_db;
+  const double snr_eff = link.snr_db.raw() - penalty_db;
   const net::mcs::McsEntry* entry = mcs_[addr];
   // The waveform pipeline runs the scenario's fixed PHY config, so a
   // commanded rung (whose curve the MAC is adapting against) pins budget
@@ -153,18 +154,19 @@ bool FleetLinkTransport::uplink_delivered(std::uint8_t addr, bytes& wire,
     static const obs::Counter polls = obs::counter("fleet.polls_budget");
     polls.add(1);
     const double fade = rng.gaussian(0.0, base_.env.fading_sigma_db);
-    last_snr_db_ = snr_eff + fade;
+    last_snr_db_ = common::SnrDb{snr_eff + fade};
     const double p =
         entry != nullptr
-            ? entry->frame_delivery_prob(snr_eff + fade, wire.size() * 8)
-            : frame_delivery_prob(snr_eff + fade, wire.size() * 8);
+            ? entry->frame_delivery_prob(common::SnrDb{snr_eff + fade},
+                                         wire.size() * 8)
+            : frame_delivery_prob(common::SnrDb{snr_eff + fade}, wire.size() * 8);
     return rng.coin(p);
   }
 
   ++tally_.waveform_polls;
   static const obs::Counter polls = obs::counter("fleet.polls_waveform");
   polls.add(1);
-  last_snr_db_ = snr_eff;  // the budget estimate; the waveform draw is implicit
+  last_snr_db_ = common::SnrDb{snr_eff};  // budget estimate; waveform draw implicit
   WaveLink& wl = wave_link(addr);
   bitvec tx_bits;
   bytes_to_bits(wire, tx_bits);

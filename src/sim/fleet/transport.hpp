@@ -71,13 +71,14 @@ class FleetLinkTransport final : public net::LinkTransport {
   struct LinkInfo {
     std::uint32_t node_id = 0;  ///< global id (seeds the wave stream)
     double range_m = 1.0;
-    double snr_db = 0.0;  ///< filled by begin_window: budget SNR at range
+    /// Filled by begin_window: budget SNR at range.
+    common::SnrDb snr_db{0.0};
   };
 
   /// `report_bits` is the representative report wire length used to place
   /// the waterfall SNR (delivery = 50%) for the escalation margin.
   FleetLinkTransport(const Scenario& base, const FidelityPolicy& policy,
-                     double contention_penalty_db, std::size_t report_bits);
+                     common::Db contention_penalty, std::size_t report_bits);
 
   /// Installs the links of the next address window (index = local addr) and
   /// the stream that seeds per-link waveform draws.
@@ -104,16 +105,18 @@ class FleetLinkTransport final : public net::LinkTransport {
   /// rung's analytic delivery curve (the waveform pipeline models only the
   /// scenario's fixed PHY, so MCS-commanded polls pin budget fidelity).
   void set_uplink_mcs(std::uint8_t addr, const net::mcs::McsEntry* entry) override;
-  std::optional<double> last_uplink_snr_db() const override { return last_snr_db_; }
+  std::optional<common::SnrDb> last_uplink_snr_db() const override {
+    return last_snr_db_;
+  }
 
   const PollTally& tally() const { return tally_; }
   Fidelity last_fidelity() const { return last_fidelity_; }
-  double waterfall_snr_db() const { return waterfall_snr_db_; }
+  common::SnrDb waterfall_snr_db() const { return common::SnrDb{waterfall_snr_db_}; }
   /// Active window's links with their budget SNRs (filled by begin_window).
   const std::vector<LinkInfo>& links() const { return links_; }
 
   /// Budget chip SNR -> frame delivery probability for `bits` wire bits.
-  static double frame_delivery_prob(double snr_db, std::size_t bits);
+  static double frame_delivery_prob(common::SnrDb snr, std::size_t bits);
 
  private:
   struct WaveLink {
@@ -122,6 +125,9 @@ class FleetLinkTransport final : public net::LinkTransport {
     WaveLink(Scenario s, common::Rng stream) : rng(stream), sim(std::move(s), rng) {}
   };
 
+  // Private helper in the raw interior domain (the penalty arithmetic
+  // happens before any wrapping back into SnrDb).
+  // vab-tidy: allow(unit-suffix-double-param) private raw-domain helper
   Fidelity choose_fidelity(double snr_eff_db);
   WaveLink& wave_link(std::uint8_t addr);
 
@@ -138,7 +144,7 @@ class FleetLinkTransport final : public net::LinkTransport {
   bool slotted_mode_ = false;
   PollTally tally_;
   Fidelity last_fidelity_ = Fidelity::kBudget;
-  std::optional<double> last_snr_db_;
+  std::optional<common::SnrDb> last_snr_db_;
 };
 
 }  // namespace vab::sim::fleet

@@ -19,44 +19,50 @@ double LinkBudget::node_modulation_amplitude() const {
                                      scenario_.phy.carrier_hz);
 }
 
-double LinkBudget::carrier_spl_at_node(double range_m) const {
-  const double tl = scenario_.env.spreading_coeff * std::log10(std::max(range_m, 1.0)) +
-                    channel::absorption_loss_db(scenario_.phy.carrier_hz, range_m,
-                                                scenario_.env.water);
-  return scenario_.reader.source_level_db - tl;
+common::Db LinkBudget::carrier_spl_at_node(common::Meters range) const {
+  const double range_m = range.raw();
+  const double tl =
+      scenario_.env.spreading_coeff * std::log10(std::max(range_m, 1.0)) +
+      channel::absorption_loss(common::Hz{scenario_.phy.carrier_hz}, range,
+                               scenario_.env.water)
+          .raw();
+  return common::Db{scenario_.reader.source_level_db - tl};
 }
 
-LinkBudgetResult LinkBudget::evaluate(double range_m, double fading_db) const {
+LinkBudgetResult LinkBudget::evaluate(common::Meters range, common::Db fading) const {
+  const double range_m = range.raw();
   if (range_m <= 0.0) throw std::invalid_argument("range must be > 0");
   LinkBudgetResult r;
-  r.tl_one_way_db =
+  r.tl_one_way_db = common::Db{
       scenario_.env.spreading_coeff * std::log10(std::max(range_m, 1.0)) +
-      channel::absorption_loss_db(scenario_.phy.carrier_hz, range_m, scenario_.env.water);
-  r.received_at_node_db = scenario_.reader.source_level_db - r.tl_one_way_db;
+      channel::absorption_loss(common::Hz{scenario_.phy.carrier_hz}, range,
+                               scenario_.env.water)
+          .raw()};
+  r.received_at_node_db = common::Db{scenario_.reader.source_level_db} - r.tl_one_way_db;
 
   const double mod_amp = node_modulation_amplitude();
-  const double ts_mod =
-      kElementTargetStrengthDb + 20.0 * std::log10(std::max(mod_amp, 1e-12));
-  r.modulated_return_db = r.received_at_node_db + ts_mod - r.tl_one_way_db + fading_db;
+  const common::Db ts_mod{kElementTargetStrengthDb +
+                          20.0 * std::log10(std::max(mod_amp, 1e-12))};
+  r.modulated_return_db = r.received_at_node_db + ts_mod - r.tl_one_way_db + fading;
 
   const double chip_rate = scenario_.phy.chip_rate_hz();
-  r.noise_in_band_db =
-      channel::noise_level_db(scenario_.phy.carrier_hz, chip_rate, scenario_.env.noise);
-  r.snr_chip_db = r.modulated_return_db - r.noise_in_band_db;
-  r.ber = phy::ber_fm0(std::pow(10.0, r.snr_chip_db / 10.0));
+  r.noise_in_band_db = channel::noise_level(common::Hz{scenario_.phy.carrier_hz},
+                                            common::Hz{chip_rate}, scenario_.env.noise);
+  r.snr_chip_db = common::SnrDb{r.modulated_return_db.raw() - r.noise_in_band_db.raw()};
+  r.ber = phy::ber_fm0(r.snr_chip_db.to_linear().raw());
   return r;
 }
 
-LinkBudget::BerTrialOutcome LinkBudget::monte_carlo_trial(double range_m,
+LinkBudget::BerTrialOutcome LinkBudget::monte_carlo_trial(common::Meters range,
                                                           std::size_t bits_per_trial,
                                                           const common::Rng& rng,
                                                           std::size_t t) const {
   common::Rng trial_rng = rng.child(t);
-  const double fade = trial_rng.gaussian(0.0, scenario_.env.fading_sigma_db);
-  const LinkBudgetResult r = evaluate(range_m, fade);
+  const common::Db fade{trial_rng.gaussian(0.0, scenario_.env.fading_sigma_db)};
+  const LinkBudgetResult r = evaluate(range, fade);
   std::binomial_distribution<std::size_t> binom(bits_per_trial,
                                                 std::min(std::max(r.ber, 0.0), 1.0));
-  return {binom(trial_rng.engine()), r.snr_chip_db};
+  return {binom(trial_rng.engine()), r.snr_chip_db.raw()};
 }
 
 LinkBudget::BerStats LinkBudget::fold_ber_trials(const BerTrialOutcome* slots,
@@ -74,7 +80,7 @@ LinkBudget::BerStats LinkBudget::fold_ber_trials(const BerTrialOutcome* slots,
   return stats;
 }
 
-LinkBudget::BerStats LinkBudget::monte_carlo(double range_m, std::size_t trials,
+LinkBudget::BerStats LinkBudget::monte_carlo(common::Meters range, std::size_t trials,
                                              std::size_t bits_per_trial,
                                              common::Rng& rng) const {
   // Trial t draws fade and bit errors from its own rng.child(t) stream;
@@ -85,21 +91,21 @@ LinkBudget::BerStats LinkBudget::monte_carlo(double range_m, std::size_t trials,
   trial_counter.add(trials);
   std::vector<BerTrialOutcome> slots(trials);
   common::parallel_for(0, trials, [&](std::size_t t) {
-    slots[t] = monte_carlo_trial(range_m, bits_per_trial, rng, t);
+    slots[t] = monte_carlo_trial(range, bits_per_trial, rng, t);
   });
   return fold_ber_trials(slots.data(), trials, bits_per_trial);
 }
 
-double LinkBudget::max_range_m(double target_ber, std::size_t trials, common::Rng& rng,
-                               double max_range) const {
-  double lo = 1.0, hi = max_range;
+common::Meters LinkBudget::max_range(double target_ber, std::size_t trials,
+                                     common::Rng& rng, common::Meters max_range) const {
+  double lo = 1.0, hi = max_range.raw();
   // If even the minimum range fails, report zero; if the max passes, report it.
   auto ber_at = [&](double r) {
     common::Rng local = rng.child(static_cast<std::uint64_t>(r * 1000.0));
-    return monte_carlo(r, trials, 512, local).ber();
+    return monte_carlo(common::Meters{r}, trials, 512, local).ber();
   };
-  if (ber_at(lo) > target_ber) return 0.0;
-  if (ber_at(hi) <= target_ber) return hi;
+  if (ber_at(lo) > target_ber) return common::Meters{0.0};
+  if (ber_at(hi) <= target_ber) return common::Meters{hi};
   for (int i = 0; i < 24; ++i) {
     const double mid = 0.5 * (lo + hi);
     if (ber_at(mid) <= target_ber)
@@ -107,7 +113,7 @@ double LinkBudget::max_range_m(double target_ber, std::size_t trials, common::Rn
     else
       hi = mid;
   }
-  return lo;
+  return common::Meters{lo};
 }
 
 }  // namespace vab::sim

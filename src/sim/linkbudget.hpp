@@ -11,16 +11,17 @@
 #include <cstddef>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "sim/scenario.hpp"
 
 namespace vab::sim {
 
 struct LinkBudgetResult {
-  double tl_one_way_db = 0.0;
-  double received_at_node_db = 0.0;    ///< carrier SPL at the node
-  double modulated_return_db = 0.0;    ///< modulated-sideband SPL back at reader
-  double noise_in_band_db = 0.0;       ///< noise level in the chip bandwidth
-  double snr_chip_db = 0.0;
+  common::Db tl_one_way_db{0.0};
+  common::Db received_at_node_db{0.0};   ///< carrier SPL at the node
+  common::Db modulated_return_db{0.0};   ///< modulated-sideband SPL back at reader
+  common::Db noise_in_band_db{0.0};      ///< noise level in the chip bandwidth
+  common::SnrDb snr_chip_db{0.0};
   double ber = 0.0;
 };
 
@@ -28,12 +29,13 @@ class LinkBudget {
  public:
   explicit LinkBudget(Scenario scenario);
 
-  /// Deterministic evaluation at `range_m` with an optional fading draw
-  /// (dB, applied to the round-trip signal).
-  LinkBudgetResult evaluate(double range_m, double fading_db = 0.0) const;
+  /// Deterministic evaluation at `range` with an optional fading draw
+  /// (applied to the round-trip signal).
+  LinkBudgetResult evaluate(common::Meters range,
+                            common::Db fading = common::Db{0.0}) const;
 
   /// Carrier SPL at the node (for the energy-harvesting budget).
-  double carrier_spl_at_node(double range_m) const;
+  common::Db carrier_spl_at_node(common::Meters range) const;
 
   /// Modulation amplitude of the node's array toward the reader (linear,
   /// relative to an ideal element).
@@ -58,7 +60,7 @@ class LinkBudget {
 
   /// Runs global trial `t` (drawing from `rng.child(t)`; the parent stream
   /// is never advanced).
-  BerTrialOutcome monte_carlo_trial(double range_m, std::size_t bits_per_trial,
+  BerTrialOutcome monte_carlo_trial(common::Meters range, std::size_t bits_per_trial,
                                     const common::Rng& rng, std::size_t t) const;
 
   /// Serial trial-order fold — the one aggregation behind `monte_carlo`
@@ -71,13 +73,13 @@ class LinkBudget {
   /// Trials fan out over the parallel engine; packet t draws from
   /// `rng.child(t)` (the parent stream is never advanced) and the reduction
   /// is thread-count-invariant.
-  BerStats monte_carlo(double range_m, std::size_t trials, std::size_t bits_per_trial,
-                       common::Rng& rng) const;
+  BerStats monte_carlo(common::Meters range, std::size_t trials,
+                       std::size_t bits_per_trial, common::Rng& rng) const;
 
-  /// Largest range (m) where the fading-averaged BER stays below
-  /// `target_ber`, found by bisection over [1, max_range_m].
-  double max_range_m(double target_ber, std::size_t trials, common::Rng& rng,
-                     double max_range_m = 2000.0) const;
+  /// Largest range where the fading-averaged BER stays below `target_ber`,
+  /// found by bisection over [1 m, max_range].
+  common::Meters max_range(double target_ber, std::size_t trials, common::Rng& rng,
+                           common::Meters max_range = common::Meters{2000.0}) const;
 
   const Scenario& scenario() const { return scenario_; }
 

@@ -62,7 +62,8 @@ std::vector<SweepPoint> ber_vs_range_sweep(const Scenario& scenario, const rvec&
     VAB_SPAN("sim.sweep_point");
     common::Rng point_rng = rng.child(i);
     // monte_carlo fans its trials out over the pool internally.
-    const auto stats = budget.monte_carlo(ranges[i], trials, bits_per_trial, point_rng);
+    const auto stats =
+        budget.monte_carlo(common::Meters{ranges[i]}, trials, bits_per_trial, point_rng);
     SweepPoint p;
     p.range_m = ranges[i];
     p.ber = stats.ber();

@@ -50,14 +50,18 @@ Environment ocean_environment() {
 std::vector<channel::PathTap> forward_taps(const Scenario& s) {
   channel::MultipathConfig mp = s.env.multipath;
   mp.spreading_coeff = s.env.spreading_coeff;
-  return channel::image_method_taps(s.range_m, s.reader.depth_m, s.node.depth_m,
+  return channel::image_method_taps(common::Meters{s.range_m},
+                                    common::Meters{s.reader.depth_m},
+                                    common::Meters{s.node.depth_m},
                                     s.env.sound_speed(), mp);
 }
 
 std::vector<channel::PathTap> return_taps(const Scenario& s) {
   channel::MultipathConfig mp = s.env.multipath;
   mp.spreading_coeff = s.env.spreading_coeff;
-  return channel::image_method_taps(s.range_m, s.node.depth_m, s.reader.depth_m,
+  return channel::image_method_taps(common::Meters{s.range_m},
+                                    common::Meters{s.node.depth_m},
+                                    common::Meters{s.reader.depth_m},
                                     s.env.sound_speed(), mp);
 }
 

@@ -169,7 +169,8 @@ WaveformTrialResult WaveformSimulator::run_trial(const bitvec& payload) {
     VAB_STAGE("wave.noise");
     auto noise_l = dsp::Workspace::local().take_r(0);
     rvec& noise = *noise_l;
-    channel::synthesize_ambient_noise(rx.size(), fs, scenario_.env.noise, *rng_, noise);
+    channel::synthesize_ambient_noise(rx.size(), common::SampleRateHz{fs},
+                                      scenario_.env.noise, *rng_, noise);
     for (std::size_t n = 0; n < rx.size(); ++n) rx[n] += noise[n];
   }
 

@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: distinct units never interconvert, even when both wrap a
+// double on the dB scale (a level is not an SNR operating point).
+#include "common/units.hpp"
+
+int main() {
+  vab::common::Db gain{6.0};
+  vab::common::SnrDb snr = gain;  // cross-unit assignment
+  return static_cast<int>(snr.raw());
+}

@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: no operator crosses the dB/linear boundary implicitly.
+// Adding a dB gain to a linear SNR is the exact bug class the layer exists
+// to kill; the only legal spelling converts first: snr.to_db() + gain.
+#include "common/units.hpp"
+
+int main() {
+  vab::common::SnrLinear snr{100.0};
+  vab::common::Db gain{3.0};
+  auto mixed = snr + gain;  // dB applied on the linear scale
+  return static_cast<int>(mixed.raw());
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: a raw double cannot implicitly become a unit quantity.
+// If this file ever compiles, the explicit-constructor guarantee is gone and
+// every call site can silently pass the wrong domain again.
+#include "common/units.hpp"
+
+double link_margin(vab::common::Db gain) { return gain.raw(); }
+
+int main() {
+  return static_cast<int>(link_margin(6.0));  // implicit double -> Db
+}

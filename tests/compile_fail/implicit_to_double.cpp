@@ -1,0 +1,9 @@
+// MUST NOT COMPILE: leaving the unit system must spell .raw() — no implicit
+// narrowing back to double, or interior math could cross domains unnoticed.
+#include "common/units.hpp"
+
+int main() {
+  vab::common::Meters range{1500.0};
+  double r = range;  // implicit Meters -> double
+  return static_cast<int>(r);
+}

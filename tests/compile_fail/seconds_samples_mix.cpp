@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: Seconds and SampleCount only interconvert through the
+// named rounding-mode functions (samples_floor/ceil/round, duration_of);
+// there is no arithmetic that treats a duration as a sample index.
+#include "common/units.hpp"
+
+int main() {
+  vab::common::Seconds dwell{0.25};
+  vab::common::SampleCount n{12000};
+  auto sum = dwell + n;  // duration + sample index
+  return static_cast<int>(sum.raw());
+}

@@ -206,13 +206,14 @@ TEST_F(CampaignTest, LinkBudgetShardsMergeBitIdentical) {
   common::Rng rng(5);
   common::set_thread_count(1);
   common::Rng direct_rng(5);
-  const auto direct = budget.monte_carlo(250.0, trials, bits, direct_rng);
+  const auto direct = budget.monte_carlo(common::Meters{250.0}, trials, bits, direct_rng);
 
   for (const unsigned threads : {1u, 2u, 8u}) {
     common::set_thread_count(threads);
     std::vector<sim::BerShardResult> shards;
     for (std::size_t i = 0; i < 4; ++i)
-      shards.push_back(sim::run_linkbudget_shard(budget, 250.0, trials, bits, rng,
+      shards.push_back(sim::run_linkbudget_shard(budget, common::Meters{250.0}, trials,
+                                                 bits, rng,
                                                  campaign(dir(), "lb", i, 4)));
     const auto merged = sim::merge_linkbudget_campaign(shards, trials, bits);
     EXPECT_EQ(direct.bits, merged.bits) << "threads=" << threads;
@@ -220,7 +221,8 @@ TEST_F(CampaignTest, LinkBudgetShardsMergeBitIdentical) {
     EXPECT_EQ(direct.mean_snr_db, merged.mean_snr_db) << "threads=" << threads;
   }
   // Second pass resumed every shard from its checkpoint.
-  const auto resumed = sim::run_linkbudget_shard(budget, 250.0, trials, bits, rng,
+  const auto resumed = sim::run_linkbudget_shard(budget, common::Meters{250.0}, trials,
+                                                 bits, rng,
                                                  campaign(dir(), "lb", 0, 4));
   EXPECT_TRUE(resumed.from_checkpoint);
 }
@@ -239,7 +241,8 @@ TEST_F(CampaignTest, MismatchShardsMergeBitIdentical) {
     common::set_thread_count(threads);
     std::vector<sim::MismatchShardResult> shards;
     for (std::size_t i = 0; i < 3; ++i)
-      shards.push_back(sim::run_mismatch_shard(ac, 0.1, 18500.0, 0.2, 1.0, trials,
+      shards.push_back(sim::run_mismatch_shard(ac, 0.1, common::Hz{18500.0}, 0.2,
+                                               common::Db{1.0}, trials,
                                                rng, campaign("", "mm", i, 3)));
     const auto merged = sim::merge_mismatch_campaign(shards, trials);
     EXPECT_EQ(direct.mean_loss_db, merged.mean_loss_db);

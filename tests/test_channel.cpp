@@ -16,17 +16,17 @@ namespace {
 
 TEST(Absorption, ThorpReferencePoints) {
   // Classic Thorp values: ~1 dB/km at 10 kHz, rising steeply after.
-  EXPECT_NEAR(thorp_absorption_db_per_km(1.0), 0.07, 0.03);
-  EXPECT_NEAR(thorp_absorption_db_per_km(10.0), 1.0, 0.3);
-  EXPECT_NEAR(thorp_absorption_db_per_km(18.5), 3.6, 0.5);
-  EXPECT_NEAR(thorp_absorption_db_per_km(100.0), 36.0, 8.0);
+  EXPECT_NEAR(thorp_absorption(common::Hz::from_khz(1.0)).raw_per_km(), 0.07, 0.03);
+  EXPECT_NEAR(thorp_absorption(common::Hz::from_khz(10.0)).raw_per_km(), 1.0, 0.3);
+  EXPECT_NEAR(thorp_absorption(common::Hz::from_khz(18.5)).raw_per_km(), 3.6, 0.5);
+  EXPECT_NEAR(thorp_absorption(common::Hz::from_khz(100.0)).raw_per_km(), 36.0, 8.0);
 }
 
 TEST(Absorption, MonotonicInFrequency) {
-  double prev = 0.0;
+  common::DbPerM prev{0.0};
   for (double f = 1.0; f <= 200.0; f *= 1.5) {
-    const double a = thorp_absorption_db_per_km(f);
-    EXPECT_GT(a, prev);
+    const common::DbPerM a = thorp_absorption(common::Hz::from_khz(f));
+    EXPECT_GT(a.raw(), prev.raw());
     prev = a;
   }
 }
@@ -37,8 +37,9 @@ TEST(Absorption, FrancoisGarrisonSeawaterNearThorpAtMidFreq) {
   sea.salinity_ppt = 35.0;
   sea.depth_m = 100.0;
   sea.ph = 8.0;
-  const double fg = francois_garrison_db_per_km(18.5, sea);
-  const double th = thorp_absorption_db_per_km(18.5);
+  const double fg =
+      francois_garrison_absorption(common::Hz::from_khz(18.5), sea).raw_per_km();
+  const double th = thorp_absorption(common::Hz::from_khz(18.5)).raw_per_km();
   EXPECT_NEAR(fg, th, th);  // same order of magnitude
 }
 
@@ -51,26 +52,30 @@ TEST(Absorption, FreshwaterMuchLowerThanSeawater) {
   sea.salinity_ppt = 35.0;
   sea.ph = 8.0;
   // MgSO4/boric relaxation dominates at 18.5 kHz and needs salt.
-  EXPECT_LT(francois_garrison_db_per_km(18.5, fresh),
-            0.5 * francois_garrison_db_per_km(18.5, sea));
+  EXPECT_LT(francois_garrison_absorption(common::Hz::from_khz(18.5), fresh).raw(),
+            0.5 * francois_garrison_absorption(common::Hz::from_khz(18.5), sea).raw());
 }
 
 TEST(Spreading, ModelOrdering) {
-  const double r = 500.0;
-  EXPECT_LT(spreading_loss_db(SpreadingModel::kCylindrical, r),
-            spreading_loss_db(SpreadingModel::kPractical, r));
-  EXPECT_LT(spreading_loss_db(SpreadingModel::kPractical, r),
-            spreading_loss_db(SpreadingModel::kSpherical, r));
-  EXPECT_NEAR(spreading_loss_db(SpreadingModel::kSpherical, 1000.0), 60.0, 1e-9);
+  const common::Meters r{500.0};
+  EXPECT_LT(spreading_loss(SpreadingModel::kCylindrical, r),
+            spreading_loss(SpreadingModel::kPractical, r));
+  EXPECT_LT(spreading_loss(SpreadingModel::kPractical, r),
+            spreading_loss(SpreadingModel::kSpherical, r));
+  EXPECT_NEAR(spreading_loss(SpreadingModel::kSpherical, common::Meters{1000.0}).raw(),
+              60.0, 1e-9);
 }
 
 TEST(Spreading, ClampedBelowOneMeter) {
-  EXPECT_DOUBLE_EQ(spreading_loss_db(SpreadingModel::kSpherical, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(spreading_loss(SpreadingModel::kSpherical, common::Meters{0.1}).raw(),
+                   0.0);
 }
 
 TEST(Spreading, TransmissionLossCombines) {
-  const double tl = transmission_loss_db(18500.0, 1000.0, SpreadingModel::kSpherical);
-  EXPECT_NEAR(tl, 60.0 + thorp_absorption_db_per_km(18.5), 0.1);
+  const common::Db tl = transmission_loss(common::Hz{18500.0}, common::Meters{1000.0},
+                                          SpreadingModel::kSpherical);
+  EXPECT_NEAR(tl.raw(), 60.0 + thorp_absorption(common::Hz::from_khz(18.5)).raw_per_km(),
+              0.1);
 }
 
 TEST(SoundSpeed, MackenzieReference) {
@@ -94,52 +99,57 @@ TEST(SoundSpeed, ProfileInterpolation) {
 TEST(Noise, WindDominatesAtCarrier) {
   NoiseConditions calm{0.2, 1.0, -1000.0};
   NoiseConditions windy{0.2, 15.0, -1000.0};
-  EXPECT_GT(ambient_nsd_db(18500.0, windy), ambient_nsd_db(18500.0, calm) + 5.0);
+  EXPECT_GT(ambient_nsd(common::Hz{18500.0}, windy),
+            ambient_nsd(common::Hz{18500.0}, calm) + common::Db{5.0});
 }
 
 TEST(Noise, ShippingMattersAtLowFrequencyOnly) {
   NoiseConditions quiet{0.1, 5.0, -1000.0};
   NoiseConditions busy{1.0, 5.0, -1000.0};
-  const double delta_low = ambient_nsd_db(100.0, busy) - ambient_nsd_db(100.0, quiet);
-  const double delta_carrier =
-      ambient_nsd_db(18500.0, busy) - ambient_nsd_db(18500.0, quiet);
-  EXPECT_GT(delta_low, 5.0);
-  EXPECT_LT(delta_carrier, 1.0);
+  const common::Db delta_low =
+      ambient_nsd(common::Hz{100.0}, busy) - ambient_nsd(common::Hz{100.0}, quiet);
+  const common::Db delta_carrier =
+      ambient_nsd(common::Hz{18500.0}, busy) - ambient_nsd(common::Hz{18500.0}, quiet);
+  EXPECT_GT(delta_low.raw(), 5.0);
+  EXPECT_LT(delta_carrier.raw(), 1.0);
 }
 
 TEST(Noise, SiteFloorAddsInPower) {
   NoiseConditions base{0.5, 5.0, -1000.0};
   NoiseConditions floored = base;
-  floored.site_floor_db = ambient_nsd_db(18500.0, base);  // equal power
-  EXPECT_NEAR(ambient_nsd_db(18500.0, floored), ambient_nsd_db(18500.0, base) + 3.0, 0.1);
+  floored.site_floor_db = ambient_nsd(common::Hz{18500.0}, base).raw();  // equal power
+  EXPECT_NEAR(ambient_nsd(common::Hz{18500.0}, floored).raw(),
+              ambient_nsd(common::Hz{18500.0}, base).raw() + 3.0, 0.1);
 }
 
 TEST(Noise, LevelScalesWithBandwidth) {
   NoiseConditions c{};
-  EXPECT_NEAR(noise_level_db(18500.0, 1000.0, c) - noise_level_db(18500.0, 100.0, c),
-              10.0, 1e-9);
+  const common::Db delta = noise_level(common::Hz{18500.0}, common::Hz{1000.0}, c) -
+                           noise_level(common::Hz{18500.0}, common::Hz{100.0}, c);
+  EXPECT_NEAR(delta.raw(), 10.0, 1e-9);
 }
 
 TEST(Noise, SynthesisMatchesModelSpectrum) {
   common::Rng rng(11);
   NoiseConditions cond{0.5, 6.0, 50.0};
   const double fs = 96000.0;
-  const rvec x = synthesize_ambient_noise(1 << 17, fs, cond, rng);
+  const rvec x = synthesize_ambient_noise(1 << 17, common::SampleRateHz{fs}, cond, rng);
   const dsp::Psd psd = dsp::welch_psd(x, fs, 4096);
   // Compare synthesized PSD (Pa^2/Hz -> dB re uPa^2/Hz) to the model at a
   // few frequencies across the band.
   for (double f : {2000.0, 10000.0, 18500.0, 30000.0}) {
     const auto k = static_cast<std::size_t>(f / fs * 4096.0);
     const double measured_db_re_upa = psd.power_db[k] + 120.0;  // Pa^2 -> uPa^2
-    EXPECT_NEAR(measured_db_re_upa, ambient_nsd_db(f, cond), 2.5) << "f=" << f;
+    EXPECT_NEAR(measured_db_re_upa, ambient_nsd(common::Hz{f}, cond).raw(), 2.5)
+        << "f=" << f;
   }
 }
 
 TEST(Noise, SynthesisDeterministicPerSeed) {
   NoiseConditions cond{};
   common::Rng a(5), b(5);
-  const rvec x = synthesize_ambient_noise(1024, 48000.0, cond, a);
-  const rvec y = synthesize_ambient_noise(1024, 48000.0, cond, b);
+  const rvec x = synthesize_ambient_noise(1024, common::SampleRateHz{48000.0}, cond, a);
+  const rvec y = synthesize_ambient_noise(1024, common::SampleRateHz{48000.0}, cond, b);
   for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(x[i], y[i]);
 }
 

@@ -74,12 +74,12 @@ TEST(FleetMedium, GridMatchesBruteForce) {
   common::Rng rng(11);
   std::vector<Position> pts(500);
   for (auto& p : pts) p = {rng.uniform(0.0, 400.0), rng.uniform(0.0, 400.0)};
-  const SpatialGrid grid(pts, 37.0);
+  const SpatialGrid grid(pts, common::Meters{37.0});
   std::vector<std::uint32_t> got;
   for (int probe = 0; probe < 20; ++probe) {
     const Position c{rng.uniform(-20.0, 420.0), rng.uniform(-20.0, 420.0)};
     const double r = rng.uniform(0.0, 150.0);
-    grid.query(c, r, got);
+    grid.query(c, common::Meters{r}, got);
     std::vector<std::uint32_t> want;
     for (std::uint32_t id = 0; id < pts.size(); ++id)
       if (sim::fleet::distance_m(pts[id], c) <= r) want.push_back(id);
@@ -90,16 +90,16 @@ TEST(FleetMedium, GridMatchesBruteForce) {
 TEST(FleetMedium, DegenerateGeometries) {
   // All points coincident: one cell, zero-radius query still finds them.
   std::vector<Position> same(17, Position{3.0, -2.0});
-  const SpatialGrid grid(same, 50.0);
+  const SpatialGrid grid(same, common::Meters{50.0});
   std::vector<std::uint32_t> out;
-  grid.query({3.0, -2.0}, 0.0, out);
+  grid.query({3.0, -2.0}, common::Meters{0.0}, out);
   EXPECT_EQ(out.size(), 17u);
-  grid.query({100.0, 100.0}, 5.0, out);
+  grid.query({100.0, 100.0}, common::Meters{5.0}, out);
   EXPECT_TRUE(out.empty());
 
   // Empty grid and non-positive cell size must not divide by zero.
-  const SpatialGrid empty({}, -1.0);
-  empty.query({0.0, 0.0}, 10.0, out);
+  const SpatialGrid empty({}, common::Meters{-1.0});
+  empty.query({0.0, 0.0}, common::Meters{10.0}, out);
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(empty.cell_count(), 1u);
 }
@@ -119,22 +119,27 @@ TEST(FleetTransport, DeliveryProbMonotoneInSnrAndBits) {
   using sim::fleet::FleetLinkTransport;
   double prev = 0.0;
   for (double snr = -10.0; snr <= 20.0; snr += 1.0) {
-    const double p = FleetLinkTransport::frame_delivery_prob(snr, 96);
+    const double p = FleetLinkTransport::frame_delivery_prob(common::SnrDb{snr}, 96);
     EXPECT_GE(p, prev);
     prev = p;
   }
-  EXPECT_GT(FleetLinkTransport::frame_delivery_prob(5.0, 64),
-            FleetLinkTransport::frame_delivery_prob(5.0, 1024));
+  EXPECT_GT(FleetLinkTransport::frame_delivery_prob(common::SnrDb{5.0}, 64),
+            FleetLinkTransport::frame_delivery_prob(common::SnrDb{5.0}, 1024));
 }
 
 TEST(FleetTransport, WaterfallSitsAtHalfDelivery) {
   const sim::Scenario base = sim::vab_river_scenario();
-  const sim::fleet::FleetLinkTransport tp(base, {}, 3.0, 96);
-  const double w = tp.waterfall_snr_db();
-  EXPECT_NEAR(sim::fleet::FleetLinkTransport::frame_delivery_prob(w, 96), 0.5,
+  const sim::fleet::FleetLinkTransport tp(base, {}, common::Db{3.0}, 96);
+  const double w = tp.waterfall_snr_db().raw();
+  EXPECT_NEAR(sim::fleet::FleetLinkTransport::frame_delivery_prob(common::SnrDb{w}, 96),
+              0.5,
               1e-6);
-  EXPECT_GT(sim::fleet::FleetLinkTransport::frame_delivery_prob(w + 6.0, 96), 0.99);
-  EXPECT_LT(sim::fleet::FleetLinkTransport::frame_delivery_prob(w - 6.0, 96), 0.01);
+  EXPECT_GT(
+      sim::fleet::FleetLinkTransport::frame_delivery_prob(common::SnrDb{w + 6.0}, 96),
+      0.99);
+  EXPECT_LT(
+      sim::fleet::FleetLinkTransport::frame_delivery_prob(common::SnrDb{w - 6.0}, 96),
+      0.01);
 }
 
 TEST(FleetTransport, AdaptivePolicyEscalatesMarginalLinksUpToCap) {
@@ -145,11 +150,12 @@ TEST(FleetTransport, AdaptivePolicyEscalatesMarginalLinksUpToCap) {
   policy.max_waveform_polls = 2;
 
   // Find a range whose budget SNR sits inside the escalation margin.
-  sim::fleet::FleetLinkTransport probe(base, policy, 3.0, 96);
+  sim::fleet::FleetLinkTransport probe(base, policy, common::Db{3.0}, 96);
   const sim::LinkBudget lb(base);
   double marginal_range = 0.0;
   for (double r = 50.0; r <= 800.0; r += 5.0) {
-    if (std::abs(lb.evaluate(r).snr_chip_db - probe.waterfall_snr_db()) <=
+    if (std::abs(lb.evaluate(common::Meters{r}).snr_chip_db.raw() -
+                 probe.waterfall_snr_db().raw()) <=
         policy.escalate_margin_db) {
       marginal_range = r;
       break;
@@ -157,9 +163,9 @@ TEST(FleetTransport, AdaptivePolicyEscalatesMarginalLinksUpToCap) {
   }
   ASSERT_GT(marginal_range, 0.0);
 
-  sim::fleet::FleetLinkTransport tp(base, policy, 3.0, 96);
+  sim::fleet::FleetLinkTransport tp(base, policy, common::Db{3.0}, 96);
   common::Rng rng(3);
-  tp.begin_window({{7, marginal_range, 0.0}}, rng.child(1));
+  tp.begin_window({{7, marginal_range, common::SnrDb{0.0}}}, rng.child(1));
   common::Rng poll_rng = rng.child(2);
   for (int i = 0; i < 5; ++i) {
     bytes wire = report_wire(0, static_cast<std::uint8_t>(i));
@@ -177,9 +183,9 @@ TEST(FleetTransport, BudgetOnlyModeNeverEscalates) {
   sim::Scenario base = sim::vab_river_scenario();
   sim::fleet::FidelityPolicy policy;
   policy.mode = sim::fleet::FidelityMode::kBudgetOnly;
-  sim::fleet::FleetLinkTransport tp(base, policy, 3.0, 96);
+  sim::fleet::FleetLinkTransport tp(base, policy, common::Db{3.0}, 96);
   common::Rng rng(5);
-  tp.begin_window({{1, 100.0, 0.0}}, rng.child(0));
+  tp.begin_window({{1, 100.0, common::SnrDb{0.0}}}, rng.child(0));
   tp.set_contention(4);  // contention alone must not force a waveform poll
   common::Rng poll_rng = rng.child(1);
   for (int i = 0; i < 8; ++i) {
@@ -193,9 +199,9 @@ TEST(FleetTransport, BudgetOnlyModeNeverEscalates) {
 
 TEST(FleetTransport, PollOutsideWindowThrows) {
   const sim::Scenario base = sim::vab_river_scenario();
-  sim::fleet::FleetLinkTransport tp(base, {}, 3.0, 96);
+  sim::fleet::FleetLinkTransport tp(base, {}, common::Db{3.0}, 96);
   common::Rng rng(9);
-  tp.begin_window({{0, 50.0, 0.0}}, rng.child(0));
+  tp.begin_window({{0, 50.0, common::SnrDb{0.0}}}, rng.child(0));
   bytes wire = report_wire(3, 0);
   EXPECT_THROW((void)tp.uplink_delivered(3, wire, rng), std::out_of_range);
 }

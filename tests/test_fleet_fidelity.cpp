@@ -50,9 +50,9 @@ double delivery_rate(const sim::Scenario& base, FidelityMode mode,
   FidelityPolicy policy;
   policy.mode = mode;
   policy.max_waveform_polls = trials + 1;
-  FleetLinkTransport tp(base, policy, 3.0, kReportBits);
+  FleetLinkTransport tp(base, policy, common::Db{3.0}, kReportBits);
   const common::Rng rng(seed);
-  tp.begin_window({{1, range_m, 0.0}}, rng.child(1));
+  tp.begin_window({{1, range_m, common::SnrDb{0.0}}}, rng.child(1));
   common::Rng poll_rng = rng.child(2);
   std::size_t delivered = 0;
   for (std::size_t t = 0; t < trials; ++t) {
@@ -97,13 +97,13 @@ TEST(FleetFidelity, BudgetPathMatchesItsOwnAnalyticMean) {
   s.env.fading_sigma_db = 3.0;
   const sim::LinkBudget lb(s);
   const double range = 290.0;
-  const double snr = lb.evaluate(range).snr_chip_db;
+  const double snr = lb.evaluate(common::Meters{range}).snr_chip_db.raw();
 
   double expected = 0.0, weight = 0.0;
   for (double z = -4.0; z <= 4.0; z += 0.05) {
     const double w = std::exp(-0.5 * z * z);
     expected += w * FleetLinkTransport::frame_delivery_prob(
-                        snr + 3.0 * z, kReportBits);
+                        common::SnrDb{snr + 3.0 * z}, kReportBits);
     weight += w;
   }
   expected /= weight;
@@ -132,12 +132,12 @@ TEST(FleetFidelity, EscalationRegionCoversTheModelDisagreementBand) {
   // link the budget calls marginal is exactly a link sent to the waveform.
   const sim::Scenario s = overlap_scenario();
   const FidelityPolicy policy;  // defaults: adaptive, 2 dB margin
-  const FleetLinkTransport tp(s, policy, 3.0, kReportBits);
-  const double w = tp.waterfall_snr_db();
+  const FleetLinkTransport tp(s, policy, common::Db{3.0}, kReportBits);
+  const double w = tp.waterfall_snr_db().raw();
   const double p_hi = FleetLinkTransport::frame_delivery_prob(
-      w + policy.escalate_margin_db, kReportBits);
+      common::SnrDb{w + policy.escalate_margin_db}, kReportBits);
   const double p_lo = FleetLinkTransport::frame_delivery_prob(
-      w - policy.escalate_margin_db, kReportBits);
+      common::SnrDb{w - policy.escalate_margin_db}, kReportBits);
   EXPECT_GT(p_hi, 0.75);  // above the margin: budget is trustworthy-good
   EXPECT_LT(p_lo, 0.25);  // below the margin: budget is trustworthy-dead
 }

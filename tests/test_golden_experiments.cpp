@@ -49,7 +49,7 @@ TEST(GoldenExperiments, E3EightElementRange) {
   sim::Scenario s = sim::vab_river_scenario();
   s.node.array.n_elements = 8;
   common::Rng local = rng.child(8);
-  const double range = sim::LinkBudget(s).max_range_m(1e-3, 200, local);
+  const double range = sim::LinkBudget(s).max_range(1e-3, 200, local).raw();
   EXPECT_GT(range, 272.0);
   EXPECT_LT(range, 368.0);
 }
@@ -60,9 +60,9 @@ TEST(GoldenExperiments, E5RangeGainOverPab) {
   common::Rng rng(5);
   common::Rng vab_rng = rng.child(0), pab_rng = rng.child(1);
   const double vab_range =
-      sim::LinkBudget(sim::vab_river_scenario()).max_range_m(1e-3, 300, vab_rng);
+      sim::LinkBudget(sim::vab_river_scenario()).max_range(1e-3, 300, vab_rng).raw();
   const double pab_range =
-      sim::LinkBudget(sim::pab_river_scenario()).max_range_m(1e-3, 300, pab_rng);
+      sim::LinkBudget(sim::pab_river_scenario()).max_range(1e-3, 300, pab_rng).raw();
   ASSERT_GT(pab_range, 0.0);
 
   EXPECT_GT(vab_range, 280.0);  // paper: >300 m class; measured 315 m

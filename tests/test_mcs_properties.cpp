@@ -68,8 +68,9 @@ TEST(McsEntryProperties, ReferenceRungMatchesLegacyFleetCurveBitForBit) {
   ASSERT_FALSE(ref.fec);
   for (double snr = -20.0; snr <= 30.0; snr += 0.25) {
     for (const std::size_t bits : {48u, 96u, 176u}) {
-      EXPECT_EQ(ref.frame_delivery_prob(snr, bits),
-                sim::fleet::FleetLinkTransport::frame_delivery_prob(snr, bits))
+      EXPECT_EQ(ref.frame_delivery_prob(common::SnrDb{snr}, bits),
+                sim::fleet::FleetLinkTransport::frame_delivery_prob(
+                    common::SnrDb{snr}, bits))
           << "snr=" << snr << " bits=" << bits;
     }
   }
@@ -79,7 +80,7 @@ TEST(McsEntryProperties, BerMonotoneNonincreasingInSnrPerRung) {
   for (std::size_t r = 0; r < ladder().size(); ++r) {
     double prev = 1.0;
     for (double snr = -25.0; snr <= 35.0; snr += 0.5) {
-      const double b = ladder().rung(r).ber(snr);
+      const double b = ladder().rung(r).ber(common::SnrDb{snr});
       EXPECT_LE(b, prev + 1e-15) << "rung " << r << " snr " << snr;
       EXPECT_GE(b, 0.0);
       EXPECT_LE(b, 0.5);
@@ -92,7 +93,7 @@ TEST(McsEntryProperties, FrameDeliveryMonotoneNondecreasingInSnrPerRung) {
   for (std::size_t r = 0; r < ladder().size(); ++r) {
     double prev = 0.0;
     for (double snr = -25.0; snr <= 35.0; snr += 0.5) {
-      const double p = ladder().rung(r).frame_delivery_prob(snr, 96);
+      const double p = ladder().rung(r).frame_delivery_prob(common::SnrDb{snr}, 96);
       // pow() noise in the saturated region is ~1e-14; anything larger is a
       // real non-monotonicity.
       EXPECT_GE(p, prev - 1e-12) << "rung " << r << " snr " << snr;
@@ -114,7 +115,8 @@ TEST(McsLadderProperties, ThroughputOrderHoldsAtHighSnr) {
   double prev = 0.0;
   for (std::size_t r = 0; r < ladder().size(); ++r) {
     const McsEntry& e = ladder().rung(r);
-    const double tput = e.data_rate_bps() * e.frame_delivery_prob(25.0, 96);
+    const double tput =
+        e.data_rate_bps() * e.frame_delivery_prob(common::SnrDb{25.0}, 96);
     EXPECT_GT(tput, prev) << "rung " << r;
     prev = tput;
   }
@@ -123,17 +125,17 @@ TEST(McsLadderProperties, ThroughputOrderHoldsAtHighSnr) {
 TEST(McsLadderProperties, WaterfallSnrStrictlyIncreasing) {
   double prev = -1e9;
   for (std::size_t r = 0; r < ladder().size(); ++r) {
-    const double wf = ladder().snr_for_delivery(r, 0.5, 96);
+    const double wf = ladder().snr_for_delivery(r, 0.5, 96).raw();
     EXPECT_GT(wf, prev) << "rung " << r;
     prev = wf;
   }
 }
 
 TEST(McsLadderProperties, BottomRungMostRobustAtLowSnr) {
-  const double lo = ladder().snr_for_delivery(0, 0.5, 96) + 1.0;
-  const double p_bottom = ladder().rung(0).frame_delivery_prob(lo, 96);
+  const double lo = ladder().snr_for_delivery(0, 0.5, 96).raw() + 1.0;
+  const double p_bottom = ladder().rung(0).frame_delivery_prob(common::SnrDb{lo}, 96);
   const double p_top =
-      ladder().rung(ladder().size() - 1).frame_delivery_prob(lo, 96);
+      ladder().rung(ladder().size() - 1).frame_delivery_prob(common::SnrDb{lo}, 96);
   EXPECT_GT(p_bottom, 0.5);
   EXPECT_LT(p_top, 0.1);
 }
@@ -143,8 +145,10 @@ TEST(McsLadderProperties, FecHelpsInTheWaterfallRegion) {
   // buy delivery there (that is its entire purpose on the ladder).
   const McsEntry coded{"c", 500.0, phy::UplinkCode::kFm0, true};
   const McsEntry uncoded{"u", 500.0, phy::UplinkCode::kFm0, false};
-  const double wf = ladder().snr_for_delivery(McsLadder::kPaperRung, 0.5, 96);
-  EXPECT_GT(coded.frame_delivery_prob(wf, 96), uncoded.frame_delivery_prob(wf, 96));
+  const double wf =
+      ladder().snr_for_delivery(McsLadder::kPaperRung, 0.5, 96).raw();
+  EXPECT_GT(coded.frame_delivery_prob(common::SnrDb{wf}, 96),
+            uncoded.frame_delivery_prob(common::SnrDb{wf}, 96));
 }
 
 TEST(McsLadderValidation, RejectsEmptyLadder) {
@@ -188,8 +192,9 @@ TEST(McsLadderValidation, SnrForDeliveryRejectsDegenerateTargets) {
 TEST(McsLadderProperties, SnrForDeliveryInvertsTheCurve) {
   for (std::size_t r = 0; r < ladder().size(); ++r) {
     for (const double target : {0.5, 0.9}) {
-      const double snr = ladder().snr_for_delivery(r, target, 96);
-      EXPECT_NEAR(ladder().rung(r).frame_delivery_prob(snr, 96), target, 1e-6)
+      const double snr = ladder().snr_for_delivery(r, target, 96).raw();
+      EXPECT_NEAR(ladder().rung(r).frame_delivery_prob(common::SnrDb{snr}, 96), target,
+                  1e-6)
           << "rung " << r << " target " << target;
     }
   }
@@ -198,7 +203,7 @@ TEST(McsLadderProperties, SnrForDeliveryInvertsTheCurve) {
 TEST(McsEntryProperties, SlotDurationMatchesMacTimingAtReferenceRung) {
   const net::MacTiming t{};  // uplink 500 bps, 12-byte slot payload
   EXPECT_DOUBLE_EQ(
-      ladder().rung(McsLadder::kPaperRung).slot_duration_s(t.slot_payload_bytes),
+      ladder().rung(McsLadder::kPaperRung).slot_duration(t.slot_payload_bytes).raw(),
       t.slot_duration_s());
 }
 
@@ -206,8 +211,8 @@ TEST(McsEntryProperties, SlotDurationGrowsWithFecAndShrinksWithRate) {
   const McsEntry coded{"c", 500.0, phy::UplinkCode::kFm0, true};
   const McsEntry uncoded{"u", 500.0, phy::UplinkCode::kFm0, false};
   const McsEntry fast{"f", 2000.0, phy::UplinkCode::kFm0, false};
-  EXPECT_GT(coded.slot_duration_s(12), uncoded.slot_duration_s(12));
-  EXPECT_LT(fast.slot_duration_s(12), uncoded.slot_duration_s(12));
+  EXPECT_GT(coded.slot_duration(12).raw(), uncoded.slot_duration(12).raw());
+  EXPECT_LT(fast.slot_duration(12).raw(), uncoded.slot_duration(12).raw());
 }
 
 TEST(McsEntryProperties, ApplyWritesModemAndFecState) {
@@ -235,13 +240,13 @@ TEST(RateControllerProperties, ThresholdBandsAreOrdered) {
   AdaptConfig cfg;
   RateController ctl(ladder(), cfg);
   for (std::size_t r = 0; r < ladder().size(); ++r) {
-    EXPECT_LT(ctl.down_threshold_db(r), ctl.up_threshold_db(r)) << "rung " << r;
+    EXPECT_LT(ctl.down_threshold(r).raw(), ctl.up_threshold(r).raw()) << "rung " << r;
     if (r + 1 < ladder().size()) {
       // Stepping up to r+1 must land *inside* r+1's comfort zone: the SNR
       // that justified the step exceeds r+1's step-down threshold by the
       // hysteresis margin, so one step can never immediately revert.
-      EXPECT_GE(ctl.up_threshold_db(r),
-                ctl.down_threshold_db(r + 1) + cfg.hysteresis_db - 1e-9)
+      EXPECT_GE(ctl.up_threshold(r).raw(),
+                ctl.down_threshold(r + 1).raw() + cfg.hysteresis_db - 1e-9)
           << "rung " << r;
     }
   }
@@ -257,7 +262,7 @@ TEST(RateControllerProperties, NoFlappingOver1000ConstantSnrObservations) {
     std::size_t settle_polls = 0;
     std::size_t last_rung = ctl.rung();
     for (int i = 0; i < 1000; ++i) {
-      ctl.observe(snr, true);
+      ctl.observe(common::SnrDb{snr}, true);
       if (ctl.rung() != last_rung) {
         last_rung = ctl.rung();
         settle_polls = ctl.polls();
@@ -280,7 +285,7 @@ TEST(RateControllerProperties, NoFlappingOver1000ConstantSnrObservations) {
 TEST(RateControllerProperties, ConvergesToTopRungAtHighSnr) {
   AdaptConfig cfg;
   RateController ctl(ladder(), cfg);
-  for (int i = 0; i < 200; ++i) ctl.observe(30.0, true);
+  for (int i = 0; i < 200; ++i) ctl.observe(common::SnrDb{30.0}, true);
   EXPECT_EQ(ctl.rung(), ladder().size() - 1);
   EXPECT_EQ(ctl.steps_down(), 0u);
 }
@@ -288,7 +293,7 @@ TEST(RateControllerProperties, ConvergesToTopRungAtHighSnr) {
 TEST(RateControllerProperties, ConvergesToBottomRungAtVeryLowSnr) {
   AdaptConfig cfg;
   RateController ctl(ladder(), cfg);
-  for (int i = 0; i < 200; ++i) ctl.observe(-20.0, false);
+  for (int i = 0; i < 200; ++i) ctl.observe(common::SnrDb{-20.0}, false);
   EXPECT_EQ(ctl.rung(), 0u);
   EXPECT_EQ(ctl.steps_up(), 0u);
 }
@@ -301,7 +306,7 @@ TEST(RateControllerProperties, MinDwellSpacesConsecutiveSteps) {
   std::size_t last_step_poll = 0;
   bool have_step = false;
   for (int i = 0; i < 300; ++i) {
-    const int step = ctl.observe(30.0, true);
+    const int step = ctl.observe(common::SnrDb{30.0}, true);
     if (step != 0) {
       if (have_step) {
         EXPECT_GE(ctl.polls() - last_step_poll, 7u);
@@ -316,7 +321,7 @@ TEST(RateControllerProperties, MinDwellSpacesConsecutiveSteps) {
 TEST(RateControllerProperties, ResetRestoresStartState) {
   AdaptConfig cfg;
   RateController ctl(ladder(), cfg);
-  for (int i = 0; i < 100; ++i) ctl.observe(30.0, true);
+  for (int i = 0; i < 100; ++i) ctl.observe(common::SnrDb{30.0}, true);
   ASSERT_NE(ctl.rung(), cfg.start_rung);
   ctl.reset();
   EXPECT_EQ(ctl.rung(), cfg.start_rung);
@@ -344,8 +349,8 @@ TEST(RateControllerProperties, FrozenControllerNeverMoves) {
   AdaptConfig cfg;
   cfg.frozen = true;
   RateController ctl(ladder(), cfg);
-  for (int i = 0; i < 100; ++i) ctl.observe(30.0, true);
-  for (int i = 0; i < 100; ++i) ctl.observe(-20.0, false);
+  for (int i = 0; i < 100; ++i) ctl.observe(common::SnrDb{30.0}, true);
+  for (int i = 0; i < 100; ++i) ctl.observe(common::SnrDb{-20.0}, false);
   EXPECT_EQ(ctl.rung(), cfg.start_rung);
   EXPECT_EQ(ctl.steps_up() + ctl.steps_down(), 0u);
 }
@@ -363,16 +368,16 @@ TEST(AnalyticMcsTransportProperties, RecordsLastUplinkSnr) {
   bytes wire(12, 0xAA);
   tp.uplink_delivered(3, wire, rng);
   ASSERT_TRUE(tp.last_uplink_snr_db().has_value());
-  EXPECT_DOUBLE_EQ(*tp.last_uplink_snr_db(), 12.5);  // no fading configured
+  EXPECT_DOUBLE_EQ(tp.last_uplink_snr_db()->raw(), 12.5);  // no fading configured
 }
 
 TEST(AnalyticMcsTransportProperties, PerAddressSnrOverride) {
   AnalyticMcsConfig tcfg;
   tcfg.snr_ref_db = 10.0;
   AnalyticMcsTransport tp(ladder(), tcfg);
-  tp.set_snr_db(7, -3.0);
-  EXPECT_DOUBLE_EQ(tp.snr_db(7), -3.0);
-  EXPECT_DOUBLE_EQ(tp.snr_db(8), 10.0);
+  tp.set_snr_db(7, common::SnrDb{-3.0});
+  EXPECT_DOUBLE_EQ(tp.snr_db(7).raw(), -3.0);
+  EXPECT_DOUBLE_EQ(tp.snr_db(8).raw(), 10.0);
 }
 
 TEST(AnalyticMcsTransportProperties, DrawCountIndependentOfRung) {
@@ -441,7 +446,7 @@ TEST(TelemetryWorkload, AdaptiveBeatsFixedGoodputAtHighSnr) {
 TEST(TelemetryWorkload, AdaptiveMatchesFixedDeliveryAtLowSnr) {
   // Just above the bottom rung's waterfall: fixed-rate FM0-500 is deep in
   // its loss region; the adaptive ladder steps down and holds delivery.
-  const double snr = ladder().snr_for_delivery(0, 0.9, 96);
+  const double snr = ladder().snr_for_delivery(0, 0.9, 96).raw();
   const auto fixed = telemetry_at(snr, false, 0xF10D);
   const auto adaptive = telemetry_at(snr, true, 0xF10D);
   EXPECT_GE(adaptive.totals.delivery_ratio(), fixed.totals.delivery_ratio());
@@ -490,7 +495,7 @@ TEST(TelemetryWorkload, FairnessDropsWhenOneNodeStarves) {
   AnalyticMcsConfig tcfg;
   tcfg.snr_ref_db = 25.0;
   AnalyticMcsTransport tp(ladder(), tcfg);
-  tp.set_snr_db(1, -30.0);  // node 1 is effectively dark at every rung
+  tp.set_snr_db(1, common::SnrDb{-30.0});  // node 1 is effectively dark at every rung
   common::Rng rng(0x57A2);
   const auto r = net::run_telemetry(population(8), 40, cfg, nullptr, rng, &tp);
   EXPECT_LT(r.jain_fairness(), 1.0);

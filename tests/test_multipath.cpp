@@ -21,7 +21,8 @@ MultipathConfig shallow() {
 }
 
 TEST(ImageMethod, DirectPathFirstAndCorrect) {
-  const auto taps = image_method_taps(100.0, 3.0, 7.0, 1500.0, shallow());
+  const auto taps = image_method_taps(common::Meters{100.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, shallow());
   ASSERT_FALSE(taps.empty());
   const double direct_r = std::sqrt(100.0 * 100.0 + 16.0);
   EXPECT_NEAR(taps.front().delay_s, direct_r / 1500.0, 1e-9);
@@ -31,7 +32,8 @@ TEST(ImageMethod, DirectPathFirstAndCorrect) {
 }
 
 TEST(ImageMethod, SurfaceBounceHasPhaseFlip) {
-  const auto taps = image_method_taps(50.0, 3.0, 7.0, 1500.0, shallow());
+  const auto taps = image_method_taps(common::Meters{50.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, shallow());
   bool found = false;
   for (const auto& t : taps) {
     if (t.surface_bounces == 1 && t.bottom_bounces == 0) {
@@ -48,14 +50,17 @@ TEST(ImageMethod, TapCountGrowsWithOrder) {
   MultipathConfig hi = shallow();
   hi.max_order = 5;
   hi.min_relative_amplitude = 1e-6;
-  EXPECT_GT(image_method_taps(50.0, 3.0, 7.0, 1500.0, hi).size(),
-            image_method_taps(50.0, 3.0, 7.0, 1500.0, lo).size());
+  EXPECT_GT(image_method_taps(common::Meters{50.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, hi).size(),
+            image_method_taps(common::Meters{50.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, lo).size());
 }
 
 TEST(ImageMethod, BounceLossOrdersAmplitudes) {
   MultipathConfig cfg = shallow();
   cfg.bottom_loss_db = 20.0;
-  const auto taps = image_method_taps(50.0, 3.0, 7.0, 1500.0, cfg);
+  const auto taps = image_method_taps(common::Meters{50.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, cfg);
   double best_bottom = 0.0, best_surface = 0.0;
   for (const auto& t : taps) {
     if (t.bottom_bounces == 1 && t.surface_bounces == 0)
@@ -71,16 +76,20 @@ TEST(ImageMethod, SpreadingCoefficientScalesGains) {
   sph.spreading_coeff = 20.0;
   MultipathConfig cyl = shallow();
   cyl.spreading_coeff = 10.0;
-  const auto t_sph = image_method_taps(100.0, 3.0, 7.0, 1500.0, sph);
-  const auto t_cyl = image_method_taps(100.0, 3.0, 7.0, 1500.0, cyl);
+  const auto t_sph = image_method_taps(common::Meters{100.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, sph);
+  const auto t_cyl = image_method_taps(common::Meters{100.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, cyl);
   // r^-1 vs r^-0.5 at r~100: ratio ~10.
   EXPECT_NEAR(t_cyl.front().gain / t_sph.front().gain, std::sqrt(100.16), 1.0);
 }
 
 TEST(ImageMethod, ValidatesInputs) {
-  EXPECT_THROW(image_method_taps(-5.0, 3.0, 7.0, 1500.0, shallow()),
+  EXPECT_THROW(image_method_taps(common::Meters{-5.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, shallow()),
                std::invalid_argument);
-  EXPECT_THROW(image_method_taps(50.0, 30.0, 7.0, 1500.0, shallow()),
+  EXPECT_THROW(image_method_taps(common::Meters{50.0}, common::Meters{30.0},
+                        common::Meters{7.0}, 1500.0, shallow()),
                std::invalid_argument);
 }
 
@@ -99,8 +108,10 @@ TEST(DelaySpread, GrowsWithShallowerWater) {
   deep.water_depth_m = 50.0;
   MultipathConfig shal = shallow();
   shal.water_depth_m = 6.0;
-  const auto t_deep = image_method_taps(100.0, 3.0, 7.0, 1500.0, deep);
-  const auto t_shal = image_method_taps(100.0, 3.0, 3.0, 1500.0, shal);
+  const auto t_deep = image_method_taps(common::Meters{100.0}, common::Meters{3.0},
+                        common::Meters{7.0}, 1500.0, deep);
+  const auto t_shal = image_method_taps(common::Meters{100.0}, common::Meters{3.0},
+                        common::Meters{3.0}, 1500.0, shal);
   // Shallower water: bounce paths are closer in length to the direct path
   // but more numerous and stronger relative to it at the same order count.
   EXPECT_GT(rms_delay_spread(t_deep), 0.0);
@@ -164,7 +175,8 @@ TEST(WaveformChannel, DopplerChangesLength) {
 
 TEST(WaveformChannel, MultipathCombImpulseResponse) {
   common::Rng rng(5);
-  const auto taps = image_method_taps(60.0, 3.0, 5.0, 1500.0, shallow());
+  const auto taps = image_method_taps(common::Meters{60.0}, common::Meters{3.0},
+                        common::Meters{5.0}, 1500.0, shallow());
   WaveformChannelConfig cfg;
   cfg.fs_hz = 96000.0;
   cfg.taps = taps;

@@ -379,7 +379,7 @@ TEST(ObsDeterminismWorkload, TracingDoesNotPerturbSeededResults) {
   const vab::sim::LinkBudget budget(scenario);
   auto run = [&] {
     vab::common::Rng rng(42);
-    return budget.monte_carlo(250.0, 200, 256, rng);
+    return budget.monte_carlo(vab::common::Meters{250.0}, 200, 256, rng);
   };
   vab::obs::disable_trace();
   const auto off = run();

@@ -40,7 +40,7 @@ TEST_P(BudgetSweep, SnrStrictlyDecreasingInRange) {
   const sim::LinkBudget lb(s);
   double prev = 1e99;
   for (double r = 10.0; r <= 1000.0; r *= 1.6) {
-    const double snr = lb.evaluate(r).snr_chip_db;
+    const double snr = lb.evaluate(common::Meters{r}).snr_chip_db.raw();
     EXPECT_LT(snr, prev) << env << " " << bitrate << " @" << r;
     prev = snr;
   }
@@ -53,8 +53,8 @@ TEST_P(BudgetSweep, BerBoundedAndMonotoneInFading) {
   s.phy.bitrate_bps = bitrate;
   const sim::LinkBudget lb(s);
   for (double r : {50.0, 200.0, 600.0}) {
-    const double ber_up = lb.evaluate(r, +6.0).ber;
-    const double ber_dn = lb.evaluate(r, -6.0).ber;
+    const double ber_up = lb.evaluate(common::Meters{r}, common::Db{+6.0}).ber;
+    const double ber_dn = lb.evaluate(common::Meters{r}, common::Db{-6.0}).ber;
     EXPECT_LE(ber_up, ber_dn);
     EXPECT_GE(ber_up, 0.0);
     EXPECT_LE(ber_dn, 0.5 + 1e-9);
@@ -66,9 +66,11 @@ TEST_P(BudgetSweep, HalvingBitrateBuysAbout3dB) {
   sim::Scenario s = std::string(env) == "ocean" ? sim::vab_ocean_scenario()
                                                 : sim::vab_river_scenario();
   s.phy.bitrate_bps = bitrate;
-  const double snr_full = sim::LinkBudget(s).evaluate(200.0).snr_chip_db;
+  const double snr_full =
+      sim::LinkBudget(s).evaluate(common::Meters{200.0}).snr_chip_db.raw();
   s.phy.bitrate_bps = bitrate / 2.0;
-  const double snr_half = sim::LinkBudget(s).evaluate(200.0).snr_chip_db;
+  const double snr_half =
+      sim::LinkBudget(s).evaluate(common::Meters{200.0}).snr_chip_db.raw();
   EXPECT_NEAR(snr_half - snr_full, 3.01, 0.05);
 }
 
@@ -163,8 +165,10 @@ INSTANTIATE_TEST_SUITE_P(Sizes, ArraySweep, ::testing::Values(2u, 4u, 6u, 8u, 12
 
 TEST(ChannelProperties, AbsorptionLinearInRange) {
   for (double f : {10e3, 18.5e3, 50e3}) {
-    const double a1 = channel::absorption_loss_db(f, 100.0);
-    const double a2 = channel::absorption_loss_db(f, 200.0);
+    const double a1 =
+        channel::absorption_loss(common::Hz{f}, common::Meters{100.0}).raw();
+    const double a2 =
+        channel::absorption_loss(common::Hz{f}, common::Meters{200.0}).raw();
     EXPECT_NEAR(a2, 2.0 * a1, 1e-9) << f;
   }
 }
@@ -176,7 +180,8 @@ TEST(ChannelProperties, TapEnergyNeverExceedsLosslessBound) {
   cfg.water_depth_m = 8.0;
   cfg.max_order = 5;
   cfg.min_relative_amplitude = 1e-6;
-  const auto taps = channel::image_method_taps(120.0, 2.0, 6.0, 1500.0, cfg);
+  const auto taps = channel::image_method_taps(common::Meters{120.0}, common::Meters{2.0},
+                        common::Meters{6.0}, 1500.0, cfg);
   for (const auto& t : taps) {
     const double r = t.delay_s * 1500.0;
     EXPECT_LE(std::abs(t.gain), 1.0 / std::max(r, 1.0) + 1e-12);
@@ -187,7 +192,8 @@ TEST(ChannelProperties, MoreBouncesArriveLater) {
   channel::MultipathConfig cfg;
   cfg.water_depth_m = 10.0;
   cfg.max_order = 3;
-  const auto taps = channel::image_method_taps(80.0, 3.0, 6.0, 1500.0, cfg);
+  const auto taps = channel::image_method_taps(common::Meters{80.0}, common::Meters{3.0},
+                        common::Meters{6.0}, 1500.0, cfg);
   // Delay of the earliest k-bounce arrival grows with k.
   double prev_min = -1.0;
   for (int k = 0; k <= 3; ++k) {
@@ -240,7 +246,9 @@ TEST_P(EventSoup, TimeMonotoneAndFifoAmongEqualTimestamps) {
       ASSERT_GE(ev->time_s, last_time);
       ASSERT_EQ(q.now_s(), ev->time_s);
       // FIFO among equal timestamps: push order (payload) must ascend.
-      if (ev->time_s == last_time) ASSERT_GT(ev->payload, last_push_seq_at_time);
+      if (ev->time_s == last_time) {
+        ASSERT_GT(ev->payload, last_push_seq_at_time);
+      }
       last_time = ev->time_s;
       last_push_seq_at_time = ev->payload;
       ++popped;
@@ -248,7 +256,9 @@ TEST_P(EventSoup, TimeMonotoneAndFifoAmongEqualTimestamps) {
   }
   while (auto ev = q.pop()) {
     ASSERT_GE(ev->time_s, last_time);
-    if (ev->time_s == last_time) ASSERT_GT(ev->payload, last_push_seq_at_time);
+    if (ev->time_s == last_time) {
+      ASSERT_GT(ev->payload, last_push_seq_at_time);
+    }
     last_time = ev->time_s;
     last_push_seq_at_time = ev->payload;
     ++popped;

@@ -430,7 +430,8 @@ TEST(McsCommandConformance, LostAckRetransmitsSameSeqAtTheCommandedRung) {
 TEST(McsCommandConformance, ObserveLinkWalksTheRungAndRecordsResidency) {
   net::ReaderMac reader{net::MacTiming{}};
   reader.enable_mcs(ladder());
-  for (int i = 0; i < 60; ++i) reader.observe_link(9, 30.0, true);
+  for (int i = 0; i < 60; ++i)
+    reader.observe_link(9, common::SnrDb{30.0}, true);
   EXPECT_EQ(reader.rung_of(9), ladder().size() - 1);
   EXPECT_GT(reader.mcs_steps_up(), 0u);
   EXPECT_EQ(reader.mcs_steps_down(), 0u);
@@ -442,7 +443,8 @@ TEST(McsCommandConformance, ObserveLinkWalksTheRungAndRecordsResidency) {
 TEST(McsCommandConformance, DemoteResetsTheRateController) {
   net::ReaderMac reader{net::MacTiming{}};
   reader.enable_mcs(ladder());
-  for (int i = 0; i < 60; ++i) reader.observe_link(9, 30.0, true);
+  for (int i = 0; i < 60; ++i)
+    reader.observe_link(9, common::SnrDb{30.0}, true);
   ASSERT_EQ(reader.rung_of(9), ladder().size() - 1);
   reader.demote(9);
   // Re-discovery starts the controller over at the configured start rung.
@@ -476,10 +478,10 @@ TEST(FleetSeamConformance, SlottedModeWithholdsTheSinrPenalty) {
   policy.mode = sim::fleet::FidelityMode::kBudgetOnly;
 
   auto run = [&](bool slotted, std::size_t contenders) {
-    sim::fleet::FleetLinkTransport tp(base, policy, 3.0, 96);
+    sim::fleet::FleetLinkTransport tp(base, policy, common::Db{3.0}, 96);
     tp.set_slotted_mode(slotted);
     common::Rng rng(0xC0117);
-    tp.begin_window({{7, 420.0, 0.0}}, rng.child(1));  // marginal range
+    tp.begin_window({{7, 420.0, common::SnrDb{0.0}}}, rng.child(1));  // marginal range
     tp.set_contention(contenders);
     common::Rng poll_rng = rng.child(2);
     std::size_t delivered = 0;

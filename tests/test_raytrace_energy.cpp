@@ -26,7 +26,9 @@ RayTraceConfig rt_config() {
 
 TEST(RayTrace, IsovelocityMatchesImageMethodDirectPath) {
   const SoundSpeedProfile iso(1500.0);
-  const auto arrivals = channel::trace_eigenrays(200.0, 5.0, 10.0, iso, rt_config());
+  const auto arrivals = channel::trace_eigenrays(common::Meters{200.0},
+                                                 common::Meters{5.0},
+                        common::Meters{10.0}, iso, rt_config());
   ASSERT_FALSE(arrivals.empty());
   // First arrival = direct path; compare to straight-line geometry.
   const double direct_r = std::sqrt(200.0 * 200.0 + 25.0);
@@ -38,12 +40,15 @@ TEST(RayTrace, IsovelocityMatchesImageMethodDirectPath) {
 
 TEST(RayTrace, IsovelocityBounceDelaysMatchImageMethod) {
   const SoundSpeedProfile iso(1500.0);
-  const auto rays = channel::trace_eigenrays(150.0, 5.0, 10.0, iso, rt_config());
+  const auto rays = channel::trace_eigenrays(common::Meters{150.0}, common::Meters{5.0},
+                        common::Meters{10.0}, iso, rt_config());
 
   channel::MultipathConfig mp;
   mp.water_depth_m = 20.0;
   mp.max_order = 2;
-  const auto images = channel::image_method_taps(150.0, 5.0, 10.0, 1500.0, mp);
+  const auto images = channel::image_method_taps(common::Meters{150.0},
+                                                 common::Meters{5.0},
+                        common::Meters{10.0}, 1500.0, mp);
 
   // Each traced bounce combination should match an image-method tap delay.
   for (const auto& ray : rays) {
@@ -61,7 +66,8 @@ TEST(RayTrace, IsovelocityBounceDelaysMatchImageMethod) {
 
 TEST(RayTrace, SurfaceBounceFlipsSign) {
   const SoundSpeedProfile iso(1500.0);
-  const auto rays = channel::trace_eigenrays(100.0, 5.0, 10.0, iso, rt_config());
+  const auto rays = channel::trace_eigenrays(common::Meters{100.0}, common::Meters{5.0},
+                        common::Meters{10.0}, iso, rt_config());
   for (const auto& r : rays) {
     if (r.surface_bounces % 2 == 1)
       EXPECT_LT(r.gain, 0.0);
@@ -81,7 +87,8 @@ TEST(RayTrace, DownwardRefractionBendsRaysDown) {
   cfg.n_rays = 3;
   // Curvature radius c/|dc/dz| = 750 m: over 150 m the ray drops ~15 m,
   // staying inside the 20 m column.
-  const auto rays = channel::trace_eigenrays(150.0, 5.0, 10.0, down, cfg);
+  const auto rays = channel::trace_eigenrays(common::Meters{150.0}, common::Meters{5.0},
+                        common::Meters{10.0}, down, cfg);
   ASSERT_FALSE(rays.empty());
   // Arrival angle points downward for the surviving near-horizontal rays.
   for (const auto& r : rays) EXPECT_GT(r.arrival_angle_rad, 0.0);
@@ -89,7 +96,8 @@ TEST(RayTrace, DownwardRefractionBendsRaysDown) {
 
 TEST(RayTrace, TapsConversion) {
   const SoundSpeedProfile iso(1500.0);
-  const auto rays = channel::trace_eigenrays(100.0, 5.0, 10.0, iso, rt_config());
+  const auto rays = channel::trace_eigenrays(common::Meters{100.0}, common::Meters{5.0},
+                        common::Meters{10.0}, iso, rt_config());
   const auto taps = channel::taps_from_arrivals(rays);
   ASSERT_EQ(taps.size(), rays.size());
   for (std::size_t i = 0; i < taps.size(); ++i) {
@@ -100,9 +108,11 @@ TEST(RayTrace, TapsConversion) {
 
 TEST(RayTrace, ValidatesGeometry) {
   const SoundSpeedProfile iso(1500.0);
-  EXPECT_THROW(channel::trace_eigenrays(-5.0, 5.0, 10.0, iso, rt_config()),
+  EXPECT_THROW(channel::trace_eigenrays(common::Meters{-5.0}, common::Meters{5.0},
+                        common::Meters{10.0}, iso, rt_config()),
                std::invalid_argument);
-  EXPECT_THROW(channel::trace_eigenrays(100.0, 50.0, 10.0, iso, rt_config()),
+  EXPECT_THROW(channel::trace_eigenrays(common::Meters{100.0}, common::Meters{50.0},
+                        common::Meters{10.0}, iso, rt_config()),
                std::invalid_argument);
 }
 
@@ -118,7 +128,7 @@ TEST(Capacitor, VoltageEnergyRelation) {
 TEST(Capacitor, ChargeClampsAtMax) {
   core::CapacitorConfig cfg;
   core::StorageCapacitor cap(cfg);
-  cap.charge(1000.0, 1000.0);  // absurd input
+  cap.charge(common::PowerW{1000.0}, common::Seconds{1000.0});  // absurd input
   EXPECT_NEAR(cap.voltage(), cfg.max_voltage_v, 1e-9);
 }
 
@@ -130,14 +140,14 @@ TEST(Capacitor, DrawUntilBrownout) {
   core::StorageCapacitor cap(cfg);
   const double usable = cap.usable_energy_j();
   // Draw slightly less than usable: survives.
-  EXPECT_TRUE(cap.draw(usable * 0.9, 1.0));
+  EXPECT_TRUE(cap.draw(common::PowerW{usable * 0.9}, common::Seconds{1.0}));
   EXPECT_FALSE(cap.browned_out());
   // Draw past the floor: brownout, voltage pinned at threshold.
-  EXPECT_FALSE(cap.draw(usable, 1.0));
+  EXPECT_FALSE(cap.draw(common::PowerW{usable}, common::Seconds{1.0}));
   EXPECT_TRUE(cap.browned_out());
   EXPECT_NEAR(cap.voltage(), 1.8, 1e-9);
   // Recharging above threshold clears the brownout.
-  cap.charge(1.0, 1.0);
+  cap.charge(common::PowerW{1.0}, common::Seconds{1.0});
   EXPECT_FALSE(cap.browned_out());
 }
 
@@ -147,9 +157,11 @@ TEST(Capacitor, EnduranceFormula) {
   cfg.max_voltage_v = 2.7;
   cfg.brownout_voltage_v = 1.8;
   // Usable energy = 0.5*0.1*(2.7^2-1.8^2) = 0.2025 J; at net 10 uW drain:
-  const double t = core::endurance_s(cfg, 15e-6, 5e-6);
+  const double t =
+      core::endurance(cfg, common::PowerW{15e-6}, common::PowerW{5e-6}).raw();
   EXPECT_NEAR(t, 0.5 * 0.1 * (2.7 * 2.7 - 1.8 * 1.8) / 10e-6, 1.0);
-  EXPECT_TRUE(std::isinf(core::endurance_s(cfg, 5e-6, 10e-6)));
+  EXPECT_TRUE(std::isinf(
+      core::endurance(cfg, common::PowerW{5e-6}, common::PowerW{10e-6}).raw()));
 }
 
 TEST(Capacitor, ValidatesConfig) {

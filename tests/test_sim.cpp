@@ -30,7 +30,7 @@ TEST(LinkBudget, SnrDecreasesWithRange) {
   const LinkBudget lb(vab_river_scenario());
   double prev = 1e9;
   for (double r : {10.0, 50.0, 100.0, 200.0, 400.0, 800.0}) {
-    const double snr = lb.evaluate(r).snr_chip_db;
+    const double snr = lb.evaluate(common::Meters{r}).snr_chip_db.raw();
     EXPECT_LT(snr, prev) << r;
     prev = snr;
   }
@@ -38,8 +38,8 @@ TEST(LinkBudget, SnrDecreasesWithRange) {
 
 TEST(LinkBudget, BerMonotoneInSnr) {
   const LinkBudget lb(vab_river_scenario());
-  const auto near = lb.evaluate(50.0);
-  const auto far = lb.evaluate(500.0);
+  const auto near = lb.evaluate(common::Meters{50.0});
+  const auto far = lb.evaluate(common::Meters{500.0});
   EXPECT_LT(near.ber, far.ber);
   EXPECT_GE(near.ber, 0.0);
   EXPECT_LE(far.ber, 0.5 + 1e-12);
@@ -47,30 +47,32 @@ TEST(LinkBudget, BerMonotoneInSnr) {
 
 TEST(LinkBudget, RoundTripUsesTransmissionLossTwice) {
   const LinkBudget lb(vab_river_scenario());
-  const auto r = lb.evaluate(100.0);
-  EXPECT_NEAR(r.received_at_node_db,
-              lb.scenario().reader.source_level_db - r.tl_one_way_db, 1e-9);
+  const auto r = lb.evaluate(common::Meters{100.0});
+  EXPECT_NEAR(r.received_at_node_db.raw(),
+              lb.scenario().reader.source_level_db - r.tl_one_way_db.raw(), 1e-9);
   // Return leg: received at node + target strength - TL again.
-  EXPECT_LT(r.modulated_return_db, r.received_at_node_db - r.tl_one_way_db);
+  EXPECT_LT(r.modulated_return_db.raw(),
+            r.received_at_node_db.raw() - r.tl_one_way_db.raw());
 }
 
 TEST(LinkBudget, FadingShiftsSnrDirectly) {
   const LinkBudget lb(vab_river_scenario());
-  EXPECT_NEAR(lb.evaluate(100.0, 6.0).snr_chip_db,
-              lb.evaluate(100.0, 0.0).snr_chip_db + 6.0, 1e-9);
+  EXPECT_NEAR(lb.evaluate(common::Meters{100.0}, common::Db{6.0}).snr_chip_db.raw(),
+              lb.evaluate(common::Meters{100.0}, common::Db{0.0}).snr_chip_db.raw() + 6.0,
+              1e-9);
 }
 
 TEST(LinkBudget, VabHeadlineRange) {
   // The paper's headline: >300 m round trip at BER 1e-3 (deterministic,
   // no-fading evaluation).
   const LinkBudget lb(vab_river_scenario());
-  EXPECT_LT(lb.evaluate(300.0).ber, 1e-3);
+  EXPECT_LT(lb.evaluate(common::Meters{300.0}).ber, 1e-3);
 }
 
 TEST(LinkBudget, PabBaselineShortRange) {
   const LinkBudget lb(pab_river_scenario());
-  EXPECT_LT(lb.evaluate(10.0).ber, 1e-3);
-  EXPECT_GT(lb.evaluate(100.0).ber, 1e-2);
+  EXPECT_LT(lb.evaluate(common::Meters{10.0}).ber, 1e-3);
+  EXPECT_GT(lb.evaluate(common::Meters{100.0}).ber, 1e-2);
 }
 
 TEST(LinkBudget, FifteenXClassRangeGain) {
@@ -78,8 +80,8 @@ TEST(LinkBudget, FifteenXClassRangeGain) {
   const LinkBudget vab(vab_river_scenario());
   const LinkBudget pab(pab_river_scenario());
   common::Rng r1 = rng.child(1), r2 = rng.child(2);
-  const double vab_range = vab.max_range_m(1e-3, 100, r1);
-  const double pab_range = pab.max_range_m(1e-3, 100, r2);
+  const double vab_range = vab.max_range(1e-3, 100, r1).raw();
+  const double pab_range = pab.max_range(1e-3, 100, r2).raw();
   const double ratio = vab_range / pab_range;
   EXPECT_GT(ratio, 10.0);
   EXPECT_LT(ratio, 30.0);
@@ -88,9 +90,9 @@ TEST(LinkBudget, FifteenXClassRangeGain) {
 
 TEST(LinkBudget, OrientationBarelyMattersForVanAtta) {
   Scenario s = vab_river_scenario();
-  const double on_axis = LinkBudget(s).evaluate(200.0).snr_chip_db;
+  const double on_axis = LinkBudget(s).evaluate(common::Meters{200.0}).snr_chip_db.raw();
   s.node.orientation_rad = common::deg_to_rad(40.0);
-  const double off_axis = LinkBudget(s).evaluate(200.0).snr_chip_db;
+  const double off_axis = LinkBudget(s).evaluate(common::Meters{200.0}).snr_chip_db.raw();
   // Only element directivity costs anything; the array factor is retro.
   EXPECT_LT(on_axis - off_axis, 4.0);
 }
@@ -98,9 +100,9 @@ TEST(LinkBudget, OrientationBarelyMattersForVanAtta) {
 TEST(LinkBudget, OrientationKillsFixedArray) {
   Scenario s = vab_river_scenario();
   s.node.array.mode = vanatta::ArrayMode::kFixedPhase;
-  const double on_axis = LinkBudget(s).evaluate(200.0).snr_chip_db;
+  const double on_axis = LinkBudget(s).evaluate(common::Meters{200.0}).snr_chip_db.raw();
   s.node.orientation_rad = common::deg_to_rad(40.0);
-  const double off_axis = LinkBudget(s).evaluate(200.0).snr_chip_db;
+  const double off_axis = LinkBudget(s).evaluate(common::Meters{200.0}).snr_chip_db.raw();
   EXPECT_GT(on_axis - off_axis, 10.0);
 }
 
@@ -111,7 +113,7 @@ TEST(LinkBudget, MoreElementsMoreRange) {
     Scenario s = vab_river_scenario();
     s.node.array.n_elements = n;
     common::Rng local = rng.child(n);
-    const double range = LinkBudget(s).max_range_m(1e-3, 100, local);
+    const double range = LinkBudget(s).max_range(1e-3, 100, local).raw();
     EXPECT_GT(range, prev) << n;
     prev = range;
   }
@@ -124,9 +126,9 @@ TEST(LinkBudget, MonteCarloBerMatchesAnalyticWithoutFading) {
   common::Rng rng(3);
   // Pick a range where BER is around 1e-2 for countable errors.
   double r_test = 300.0;
-  while (lb.evaluate(r_test).ber < 5e-3) r_test += 20.0;
-  const auto stats = lb.monte_carlo(r_test, 200, 1024, rng);
-  const double expected = lb.evaluate(r_test).ber;
+  while (lb.evaluate(common::Meters{r_test}).ber < 5e-3) r_test += 20.0;
+  const auto stats = lb.monte_carlo(common::Meters{r_test}, 200, 1024, rng);
+  const double expected = lb.evaluate(common::Meters{r_test}).ber;
   EXPECT_NEAR(stats.ber(), expected, 0.3 * expected + 1e-4);
 }
 
@@ -135,10 +137,10 @@ TEST(LinkBudget, FadingRaisesAverageBerNearThreshold) {
   Scenario s = vab_river_scenario();
   const LinkBudget lb(s);
   double r_edge = 200.0;
-  while (lb.evaluate(r_edge).ber < 1e-5) r_edge += 20.0;
+  while (lb.evaluate(common::Meters{r_edge}).ber < 1e-5) r_edge += 20.0;
   common::Rng rng(4);
-  const auto faded = lb.monte_carlo(r_edge, 400, 2048, rng);
-  EXPECT_GT(faded.ber(), lb.evaluate(r_edge).ber);
+  const auto faded = lb.monte_carlo(common::Meters{r_edge}, 400, 2048, rng);
+  EXPECT_GT(faded.ber(), lb.evaluate(common::Meters{r_edge}).ber);
 }
 
 TEST(MonteCarlo, SweepShapesAndDeterminism) {
@@ -160,14 +162,15 @@ TEST(LinkBudget, CarrierSplForHarvesting) {
   const LinkBudget lb(vab_river_scenario());
   // Within tens of meters the carrier is strong enough to be worth
   // harvesting (>140 dB re 1 uPa).
-  EXPECT_GT(lb.carrier_spl_at_node(20.0), 140.0);
-  EXPECT_LT(lb.carrier_spl_at_node(1000.0), lb.carrier_spl_at_node(20.0));
+  EXPECT_GT(lb.carrier_spl_at_node(common::Meters{20.0}).raw(), 140.0);
+  EXPECT_LT(lb.carrier_spl_at_node(common::Meters{1000.0}).raw(),
+            lb.carrier_spl_at_node(common::Meters{20.0}).raw());
 }
 
 TEST(LinkBudget, InvalidRangeThrows) {
   const LinkBudget lb(vab_river_scenario());
-  EXPECT_THROW(lb.evaluate(0.0), std::invalid_argument);
-  EXPECT_THROW(lb.evaluate(-5.0), std::invalid_argument);
+  EXPECT_THROW(lb.evaluate(common::Meters{0.0}), std::invalid_argument);
+  EXPECT_THROW(lb.evaluate(common::Meters{-5.0}), std::invalid_argument);
 }
 
 }  // namespace

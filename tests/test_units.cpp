@@ -1,0 +1,153 @@
+// Tests for the strong-typedef units layer (common/units.hpp): bit-exact
+// round-trips across the dB/linear boundary, constexpr arithmetic, NaN and
+// non-finite behavior, the seconds<->samples rounding modes, and the unit
+// literals. The compile-fail negatives (misuse the type system must reject)
+// live in tests/compile_fail/ and run as configure-time try_compile checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/units.hpp"
+
+namespace {
+
+using namespace vab::common;                 // NOLINT(build/namespaces)
+using namespace vab::common::unit_literals;  // NOLINT(build/namespaces)
+
+// --- dB/linear round trips -------------------------------------------------
+
+// The wrappers must compute *exactly* the expressions the raw code used:
+// to_linear is pow(10, x/10), to_db is 10*log10(x). Anything else would have
+// moved the golden digests during the migration.
+TEST(UnitsRoundTrip, SnrDbToLinearMatchesRawExpression) {
+  for (double x : {-37.5, -3.0, 0.0, 0.25, 9.99, 30.0, 87.3}) {
+    EXPECT_EQ(SnrDb{x}.to_linear().raw(), std::pow(10.0, x / 10.0));
+    EXPECT_EQ(SnrLinear{std::pow(10.0, x / 10.0)}.to_db().raw(),
+              10.0 * std::log10(std::pow(10.0, x / 10.0)));
+  }
+}
+
+TEST(UnitsRoundTrip, DbPowerAndAmplitudeRatiosMatchFreeFunctions) {
+  for (double x : {-60.0, -6.0, 0.0, 3.0, 20.0, 120.0}) {
+    EXPECT_EQ(Db{x}.to_power_ratio(), power_ratio_from_db(x));
+    EXPECT_EQ(Db{x}.to_amplitude_ratio(), amplitude_ratio_from_db(x));
+    EXPECT_EQ(Db::from_power_ratio(power_ratio_from_db(x)).raw(),
+              db_from_power_ratio(power_ratio_from_db(x)));
+  }
+}
+
+TEST(UnitsRoundTrip, ToDbOfToLinearIsTightlyBounded) {
+  // pow/log10 round-trip is not required to be bit-exact by IEEE, but it
+  // must stay within 1 ulp-scale slop for every value the link budget uses.
+  for (double x = -80.0; x <= 80.0; x += 0.173) {
+    const double back = SnrDb{x}.to_linear().to_db().raw();
+    EXPECT_NEAR(back, x, 1e-12 * std::max(1.0, std::fabs(x))) << "x=" << x;
+  }
+}
+
+// --- constexpr arithmetic ---------------------------------------------------
+
+TEST(UnitsConstexpr, ArithmeticIsUsableInConstantExpressions) {
+  static_assert((Db{3.0} + Db{4.0}).raw() == 7.0);
+  static_assert((Db{3.0} - Db{4.0}).raw() == -1.0);
+  static_assert((-Db{3.0}).raw() == -3.0);
+  static_assert((Db{3.0} * 2.0).raw() == 6.0);
+  static_assert((2.0 * Db{3.0}).raw() == 6.0);
+  static_assert(Db{8.0} / Db{2.0} == 4.0);
+
+  static_assert((SnrDb{10.0} + Db{3.0}).raw() == 13.0);
+  static_assert((SnrDb{10.0} - Db{3.0}).raw() == 7.0);
+  static_assert((SnrDb{10.0} - SnrDb{4.0}).raw() == 6.0);
+
+  static_assert((Meters{1500.0} + Meters{500.0}).km() == 2.0);
+  static_assert(Hz::from_khz(18.5).raw() == 18500.0);
+  static_assert(Hz{18500.0}.khz() == 18.5);
+  static_assert(DbPerM::per_km(5.0).raw() == 0.005);
+  static_assert(DbPerM::per_km(5.0).raw_per_km() == 5.0);
+
+  // Dimensional cross products.
+  static_assert((DbPerM{0.01} * Meters{300.0}).raw() == 3.0);
+  static_assert(Hz{1000.0} * Seconds{0.25} == 250.0);
+  static_assert(SampleRateHz{48000.0} / Hz{12000.0} == 4.0);
+  static_assert(Hz{12000.0} / SampleRateHz{48000.0} == 0.25);
+  static_assert(duration_of(SampleCount{4800}, SampleRateHz{48000.0}).raw() ==
+                0.1);
+
+  static_assert(Db{1.0} < Db{2.0});
+  static_assert(SampleCount{3} + SampleCount{4} == SampleCount{7});
+  SUCCEED();
+}
+
+TEST(UnitsConstexpr, CompoundAssignmentComposes) {
+  Db g{3.0};
+  g += Db{2.0};
+  g -= Db{1.0};
+  EXPECT_EQ(g.raw(), 4.0);
+
+  SnrDb s{10.0};
+  s += Db{6.0};
+  s -= Db{1.0};
+  EXPECT_EQ(s.raw(), 15.0);
+}
+
+// --- NaN / non-finite guards ------------------------------------------------
+
+TEST(UnitsNaN, IsFiniteFlagsNonFiniteValues) {
+  constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(Db{0.0}.is_finite());
+  EXPECT_FALSE(Db{nan}.is_finite());
+  EXPECT_FALSE(Db{inf}.is_finite());
+  EXPECT_FALSE(SnrDb{-inf}.is_finite());
+  EXPECT_FALSE(Meters{nan}.is_finite());
+}
+
+TEST(UnitsNaN, NaNPropagatesInsteadOfComparingEqual) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const Db poisoned = Db{nan} + Db{3.0};
+  EXPECT_FALSE(poisoned.is_finite());
+  EXPECT_FALSE(Db{nan} == Db{nan});  // IEEE semantics preserved
+  EXPECT_FALSE(Db{nan} < Db{0.0});
+  EXPECT_FALSE(SnrDb{nan}.to_linear().is_finite());
+}
+
+TEST(UnitsNaN, EdgeOfLinearDomainBehavesLikeRawMath) {
+  // to_db of zero is -inf, of a negative power is NaN — same as the raw
+  // expressions, never silently clamped.
+  EXPECT_TRUE(std::isinf(SnrLinear{0.0}.to_db().raw()));
+  EXPECT_LT(SnrLinear{0.0}.to_db().raw(), 0.0);
+  EXPECT_TRUE(std::isnan(SnrLinear{-1.0}.to_db().raw()));
+}
+
+// --- seconds <-> samples ----------------------------------------------------
+
+TEST(UnitsSamples, EveryCrossingNamesItsRoundingMode) {
+  const SampleRateHz fs{48000.0};
+  const Seconds t{1.25e-3};  // 60 samples exactly
+  EXPECT_EQ(samples_floor(t, fs).raw(), 60u);
+  EXPECT_EQ(samples_ceil(t, fs).raw(), 60u);
+  EXPECT_EQ(samples_round(t, fs).raw(), 60u);
+
+  const Seconds frac{1.26e-3};  // 60.48 samples
+  EXPECT_EQ(samples_floor(frac, fs).raw(), 60u);
+  EXPECT_EQ(samples_ceil(frac, fs).raw(), 61u);
+  EXPECT_EQ(samples_round(frac, fs).raw(), 60u);
+
+  EXPECT_EQ(duration_of(SampleCount{60}, fs).raw(), 60.0 / 48000.0);
+}
+
+// --- literals ----------------------------------------------------------------
+
+TEST(UnitsLiterals, LiteralsProduceTheDocumentedScales) {
+  EXPECT_EQ((6.0_dB).raw(), 6.0);
+  EXPECT_EQ((12.0_snr_dB).raw(), 12.0);
+  EXPECT_EQ((18.5_khz).raw(), 18500.0);
+  EXPECT_EQ((2.0_km).raw(), 2000.0);
+  EXPECT_EQ((5.0_ms).raw(), 0.005);
+  EXPECT_EQ((1.5_m).raw(), 1.5);
+  EXPECT_EQ((0.1_s).raw(), 0.1);
+  EXPECT_EQ((3.0_w).raw(), 3.0);
+}
+
+}  // namespace

@@ -74,7 +74,7 @@ TEST(WaveformE2E, IncidentSplMatchesLinkBudget) {
   sim::WaveformSimulator wsim(s, rng);
   const auto res = wsim.run_trial(rng.random_bits(16));
   const sim::LinkBudget budget(s);
-  const double predicted = budget.carrier_spl_at_node(s.range_m);
+  const double predicted = budget.carrier_spl_at_node(common::Meters{s.range_m}).raw();
   EXPECT_NEAR(res.incident_spl_at_node_db, predicted, 3.0);
 }
 
@@ -115,7 +115,8 @@ TEST(WaveformE2E, LinkBudgetCalibratesAgainstWaveformSnr) {
   const auto stats = sim::run_waveform_trials(s, 3, 48, rng);
   ASSERT_EQ(stats.frames_synced, 3u);
   const sim::LinkBudget budget(s);
-  const double predicted_snr = budget.evaluate(s.range_m).snr_chip_db;
+  const double predicted_snr =
+      budget.evaluate(common::Meters{s.range_m}).snr_chip_db.raw();
   // The waveform chain has implementation loss (filter rounding, timing)
   // and an estimator floor; require agreement within 6 dB.
   EXPECT_NEAR(stats.mean_snr_db, predicted_snr, 6.0);

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Unit tests for the vab-tidy check engine, run as the VabTidy.SelfTest
+ctest.
+
+Every fixture under tools/vab_tidy/fixtures/violating/ declares the findings
+it must produce with `// expect: <check-id>:<count>` header comments; every
+file under conforming/ must produce none. On top of the counts, one exact
+diagnostic string per check family is pinned so message regressions (wrong
+line, wrong column anchoring, reworded advice) fail here before the
+tree-wide gate.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(HERE, "vab_tidy"))
+
+import vab_tidy  # noqa: E402
+
+FIXTURES = os.path.join(HERE, "vab_tidy", "fixtures")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+):(\d+)")
+
+
+def fixture_files(kind: str) -> list[str]:
+    out = []
+    for dirpath, _, names in os.walk(os.path.join(FIXTURES, kind)):
+        for name in sorted(names):
+            if name.endswith(vab_tidy.CXX_EXTENSIONS):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def expected_findings(path: str) -> dict[str, int]:
+    with open(path, encoding="utf-8") as fh:
+        head = fh.read(2048)
+    return {check: int(count) for check, count in EXPECT_RE.findall(head)}
+
+
+def lint_one(path: str, kind: str) -> list[vab_tidy.Finding]:
+    """Runs all checks the way the CLI would, rooted at the fixture's own
+    mini-tree so the layering check sees `src/<module>/...` paths."""
+    root = os.path.join(FIXTURES, kind)
+    marker = os.sep + "src" + os.sep
+    if marker in path:
+        root = path[:path.index(marker)]
+    return vab_tidy.run([path], repo_root=root, build_dir=None,
+                        checks=vab_tidy.CHECKS,
+                        allowlist_path=os.devnull)
+
+
+def count_by_check(findings: list[vab_tidy.Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.check] = counts.get(finding.check, 0) + 1
+    return counts
+
+
+class ViolatingFixtures(unittest.TestCase):
+    def test_every_fixture_detected_exactly(self):
+        checked = 0
+        for path in fixture_files("violating"):
+            expected = expected_findings(path)
+            self.assertTrue(expected, f"{path} lacks an expect header")
+            with self.subTest(fixture=os.path.relpath(path, FIXTURES)):
+                actual = count_by_check(lint_one(path, "violating"))
+                self.assertEqual(actual, expected)
+            checked += 1
+        self.assertGreaterEqual(checked, 6, "violating fixture set shrank")
+
+    def test_every_check_has_a_violating_fixture(self):
+        covered = set()
+        for path in fixture_files("violating"):
+            covered.update(expected_findings(path))
+        self.assertEqual(covered, set(vab_tidy.CHECKS),
+                         "each check needs a fixture proving it still fires")
+
+
+class ExactDiagnostics(unittest.TestCase):
+    """One pinned diagnostic per family: the full path:line/message contract
+    the libTooling twin must reproduce."""
+
+    def _findings(self, rel: str) -> list[str]:
+        path = os.path.join(FIXTURES, "violating", rel)
+        return [f.format() for f in lint_one(path, "violating")]
+
+    def test_unit_param_diagnostic(self):
+        path = os.path.join(FIXTURES, "violating", "unit_params.hpp")
+        self.assertIn(
+            f"{path}:14: [unit-suffix-double-param] parameter 'range_m' is "
+            "a raw double carrying a unit suffix; take common::Meters (see "
+            "common/units.hpp) so callers cannot pass the wrong domain",
+            self._findings("unit_params.hpp"))
+
+    def test_rng_capture_diagnostic(self):
+        path = os.path.join(FIXTURES, "violating", "rng_capture.cpp")
+        self.assertIn(
+            f"{path}:11: [rng-parallel-capture] 'rng.uniform()' draws from "
+            "a captured Rng inside a parallel body; derive a per-index "
+            "stream with 'rng.child(i)' so draw order cannot depend on "
+            "scheduling",
+            self._findings("rng_capture.cpp"))
+
+    def test_unordered_diagnostic(self):
+        path = os.path.join(FIXTURES, "violating", "unordered_accumulate.cpp")
+        self.assertIn(
+            f"{path}:13: [unordered-iter-accumulate] iteration over "
+            "unordered container 'weights' feeds an accumulation or output "
+            "in hash order; sort the keys (or the results) before they "
+            "reach any reduction or stream",
+            self._findings("unordered_accumulate.cpp"))
+
+    def test_layering_diagnostic(self):
+        path = os.path.join(FIXTURES, "violating", "layering", "src", "dsp",
+                            "uses_phy.hpp")
+        self.assertIn(
+            f"{path}:4: [layering] downward include: 'dsp' (rank 1) may not "
+            "include 'phy' (rank 2); dependencies must point strictly down "
+            "the layer diagram",
+            [f.format() for f in lint_one(path, "violating")])
+
+
+class ConformingFixtures(unittest.TestCase):
+    def test_no_false_positives(self):
+        for path in fixture_files("conforming"):
+            with self.subTest(fixture=os.path.relpath(path, FIXTURES)):
+                self.assertEqual(
+                    [f.format() for f in lint_one(path, "conforming")], [])
+
+
+class LayeringModel(unittest.TestCase):
+    def test_rank_table_matches_design(self):
+        self.assertEqual(vab_tidy.MODULE_RANKS["common"], 0)
+        self.assertEqual(vab_tidy.SINK_MODULES, {"obs"})
+        for mod in ("dsp", "fault", "piezo", "vanatta"):
+            self.assertEqual(vab_tidy.MODULE_RANKS[mod], 1)
+        self.assertLess(vab_tidy.MODULE_RANKS["phy"],
+                        vab_tidy.MODULE_RANKS["net"])
+        self.assertLess(vab_tidy.MODULE_RANKS["sim"],
+                        vab_tidy.MODULE_RANKS["core"])
+
+    def test_cycle_detected(self):
+        root = os.path.join(FIXTURES, "violating", "cycle")
+        findings = vab_tidy.run([os.path.join(root, "src")], repo_root=root,
+                                build_dir=None, checks=["layering"],
+                                allowlist_path=os.devnull)
+        formatted = [f.format() for f in findings]
+        self.assertTrue(any("module cycle detected" in f for f in formatted),
+                        formatted)
+
+
+class Allowlist(unittest.TestCase):
+    def test_grandfathered_header_skips_unit_check_only(self):
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            hdr = os.path.join(tmp, "legacy.hpp")
+            with open(hdr, "w", encoding="utf-8") as fh:
+                fh.write("void f(double gain_db);\n")
+            allow = os.path.join(tmp, "allow.txt")
+            with open(allow, "w", encoding="utf-8") as fh:
+                fh.write("legacy.hpp :: grandfathered for the test\n")
+            self.assertEqual(
+                vab_tidy.run([hdr], repo_root=tmp, build_dir=None,
+                             checks=vab_tidy.CHECKS, allowlist_path=allow),
+                [])
+            findings = vab_tidy.run([hdr], repo_root=tmp, build_dir=None,
+                                    checks=vab_tidy.CHECKS,
+                                    allowlist_path=os.devnull)
+            self.assertEqual([f.check for f in findings],
+                             ["unit-suffix-double-param"])
+
+    def test_repo_allowlist_entries_still_exist(self):
+        """Every grandfathered path must still be a real header: stale
+        entries hide nothing but rot the debt ledger."""
+        repo = os.path.dirname(HERE)
+        allowlist = vab_tidy.load_allowlist(
+            os.path.join(HERE, "vab_tidy", "allowlist.txt"), repo)
+        self.assertTrue(allowlist)
+        for path, reason in allowlist.items():
+            self.assertTrue(os.path.exists(path), f"stale allowlist: {path}")
+            self.assertTrue(reason, f"allowlist entry needs a reason: {path}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

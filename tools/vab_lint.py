@@ -15,10 +15,6 @@ same or the preceding line; annotate *why* next to it):
   no-random-device      std::random_device: nondeterministic by definition.
   no-time-seeded-rng    constructing/seeding an RNG from a clock: every run
                         gets a different stream.
-  no-unordered-iter     iterating an unordered_{map,set}: the visit order
-                        depends on hash seeding/load factor and may feed
-                        results or reductions in unstable order. Iterate a
-                        sorted copy, or keep a deterministic index.
   no-pointer-key-order  std::map/std::set keyed on a raw pointer: ordering
                         follows allocation addresses, which vary run to run
                         (ASLR) and thread to thread.
@@ -26,11 +22,6 @@ same or the preceding line; annotate *why* next to it):
                         the observability layer: wall-clock reads feeding
                         logic make outcomes timing-dependent. Telemetry
                         belongs in obs/, timeouts in simulated time.
-  rng-child-discipline  a parallel_for/parallel_reduce body drawing from an
-                        Rng it captured instead of a per-index child stream:
-                        draw order then depends on scheduling. Derive
-                        `rng.child(i)` (or pass it straight through) inside
-                        the body.
   pragma-once           every header starts with #pragma once.
   own-header-first      foo.cpp includes its own header before any other
                         include, proving the header is self-sufficient at
@@ -43,6 +34,13 @@ same or the preceding line; annotate *why* next to it):
                         src/dsp/simd/: ISA-specific code must sit behind the
                         runtime dispatch layer, where the scalar-vs-SIMD
                         bit-identity suite covers it.
+
+Retired rules (superseded by the structural analyzer tools/vab_tidy/, which
+owns these hazard classes with body-aware matching; run it via the
+`vab-tidy` build target or the VabTidy.* ctests):
+
+  no-unordered-iter     -> vab-tidy check `unordered-iter-accumulate`
+  rng-child-discipline  -> vab-tidy check `rng-parallel-capture`
 
 Modes:
   vab_lint.py <root>...                 lint sources under the roots
@@ -288,93 +286,18 @@ def rule_simd_intrinsics_confined(src: SourceFile) -> list[Finding]:
         "dsp::simd kernels so every ISA stays behind the bit-identity gate")
 
 
-# --- unordered iteration ----------------------------------------------------
-
-UNORDERED_DECL_RE = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*[&*]?\s*"
-    r"(\w+)\s*[;{=,)]")
-RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,&*\s\[\]]+?:\s*(\w+)\s*\)")
-ITER_LOOP_RE = re.compile(r"=\s*(\w+)\s*\.\s*(?:begin|cbegin)\s*\(")
-
-
-def rule_no_unordered_iter(src: SourceFile) -> list[Finding]:
-    unordered_names = set(UNORDERED_DECL_RE.findall(src.code))
-    if not unordered_names:
-        return []
-    found = []
-    for pattern in (RANGE_FOR_RE, ITER_LOOP_RE):
-        for m in pattern.finditer(src.code):
-            name = m.group(1)
-            if name not in unordered_names:
-                continue
-            line = src.line_of(m.start())
-            if not src.is_allowed(line, "no-unordered-iter"):
-                found.append(Finding(
-                    src.path, line, "no-unordered-iter",
-                    f"iteration over unordered container '{name}' visits in "
-                    "hash order; sort the keys (or the results) before they "
-                    "feed any output or reduction"))
-    return found
-
-
-# --- Rng stream discipline in parallel bodies -------------------------------
-
-PARALLEL_CALL_RE = re.compile(r"\bparallel_(?:for|reduce)\s*(?:<[^;{}]*?>)?\s*\(")
-RNG_LOCAL_DECL_RE = re.compile(r"\bRng\s*&?\s+(\w+)\s*[=({]")
-CHILD_DERIVED_RE = re.compile(r"\b(?:auto|Rng)\s*&?\s+(\w+)\s*=\s*[\w.\->]+child\s*\(")
-DRAW_CALL_RE = re.compile(
-    r"\b(\w+)\s*(?:\.|->)\s*"
-    r"(uniform|uniform_int|gaussian|complex_gaussian|coin|random_bits|"
-    r"gaussian_vector|engine)\s*\(")
-
-
-def extract_balanced(text: str, open_idx: int, open_ch: str, close_ch: str) -> tuple[int, int]:
-    """Returns (start, end) spanning the balanced region starting at the
-    opener at open_idx, or (-1, -1) when unbalanced."""
-    depth = 0
-    for i in range(open_idx, len(text)):
-        ch = text[i]
-        if ch == open_ch:
-            depth += 1
-        elif ch == close_ch:
-            depth -= 1
-            if depth == 0:
-                return open_idx, i
-    return -1, -1
-
-
-def rule_rng_child_discipline(src: SourceFile) -> list[Finding]:
-    found = []
-    for call in PARALLEL_CALL_RE.finditer(src.code):
-        open_paren = src.code.index("(", call.end() - 1)
-        _, close_paren = extract_balanced(src.code, open_paren, "(", ")")
-        if close_paren < 0:
-            continue
-        args = src.code[open_paren:close_paren + 1]
-        base = open_paren
-        # Names that may legally be drawn from inside the body: lambda
-        # parameters and Rngs derived inside the call's argument region
-        # (locals like `Rng trial_rng = rng.child(t);`).
-        local = set(CHILD_DERIVED_RE.findall(args))
-        local.update(RNG_LOCAL_DECL_RE.findall(args))
-        for lam in re.finditer(r"\[[^\]\n]*\]\s*\(([^)]*)\)", args):
-            for param in lam.group(1).split(","):
-                param = param.strip()
-                if param:
-                    local.add(param.split()[-1].lstrip("&*"))
-        for draw in DRAW_CALL_RE.finditer(args):
-            name = draw.group(1)
-            if name in local:
-                continue
-            line = src.line_of(base + draw.start())
-            if not src.is_allowed(line, "rng-child-discipline"):
-                found.append(Finding(
-                    src.path, line, "rng-child-discipline",
-                    f"'{name}.{draw.group(2)}()' draws from a captured Rng "
-                    "inside a parallel body; derive a per-index stream with "
-                    f"'{name}.child(i)' so draw order cannot depend on "
-                    "scheduling"))
-    return found
+# --- retired rules ----------------------------------------------------------
+#
+# rule_no_unordered_iter (retired 2026-08-08): superseded by the vab-tidy
+# check `unordered-iter-accumulate` (tools/vab_tidy/vab_tidy.py), which
+# inspects the loop *body* and only flags iteration whose hash order can
+# reach an accumulation or output stream — this regex rule flagged every
+# iteration and forced annotations onto order-independent loops.
+#
+# rule_rng_child_discipline (retired 2026-08-08): superseded by the vab-tidy
+# check `rng-parallel-capture`, which distinguishes lambda captures from
+# lambda parameters and body-locals structurally instead of by token
+# adjacency. The fixtures moved to tools/vab_tidy/fixtures/.
 
 
 # --- include hygiene --------------------------------------------------------
@@ -441,10 +364,8 @@ RULES = [
     rule_no_libc_rand,
     rule_no_random_device,
     rule_no_time_seeded_rng,
-    rule_no_unordered_iter,
     rule_no_pointer_key_order,
     rule_no_wallclock,
-    rule_rng_child_discipline,
     rule_pragma_once,
     rule_own_header_first,
     rule_no_using_namespace,
@@ -453,9 +374,8 @@ RULES = [
 
 RULE_IDS = [
     "no-libc-rand", "no-random-device", "no-time-seeded-rng",
-    "no-unordered-iter", "no-pointer-key-order", "no-wallclock",
-    "rng-child-discipline", "pragma-once", "own-header-first",
-    "no-using-namespace", "simd-intrinsics-confined",
+    "no-pointer-key-order", "no-wallclock", "pragma-once",
+    "own-header-first", "no-using-namespace", "simd-intrinsics-confined",
 ]
 
 

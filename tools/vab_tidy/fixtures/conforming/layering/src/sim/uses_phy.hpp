@@ -1,0 +1,4 @@
+// sim (rank 4) including phy (rank 2) and obs (sink): both legal.
+#pragma once
+#include "obs/obs.hpp"
+#include "phy/modem.hpp"

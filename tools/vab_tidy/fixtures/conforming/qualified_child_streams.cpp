@@ -1,5 +1,5 @@
-// Conforming: every parallel body derives a per-index child stream, so the
-// draws are a pure function of the trial index.
+// Conforming: namespace-qualified parallel calls with per-index child
+// streams; the draws are a pure function of the trial index.
 #include <cstddef>
 #include <vector>
 

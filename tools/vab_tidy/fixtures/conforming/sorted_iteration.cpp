@@ -18,7 +18,7 @@ std::vector<std::uint8_t> sorted_nodes(
     const std::unordered_map<std::uint8_t, double>& by_node) {
   std::vector<std::uint8_t> keys;
   keys.reserve(by_node.size());
-  // vab-lint: allow(no-unordered-iter) order is discarded by the sort below
+  // vab-tidy: allow(unordered-iter-accumulate) order is discarded by the sort below
   for (const auto& [node, rssi] : by_node) keys.push_back(node);
   std::sort(keys.begin(), keys.end());
   return keys;

@@ -1,0 +1,33 @@
+// Clean counterpart of unit_params.hpp: strong-typed parameters, raw fields
+// and locals, and array/template contexts that must never be mistaken for
+// parameters.
+#pragma once
+
+#include <array>
+
+namespace fixture {
+
+struct Db {
+  double v;
+};
+struct Meters {
+  double v;
+};
+
+struct Config {
+  double carrier_hz = 18500.0;
+  double range_m = 100.0;
+  double window_s = 0.25;
+  std::array<double, 3> taps{};
+};
+
+Db absorption(Meters range, double frequency);  // typed boundary
+void settle(double dwell, double pause);        // no unit suffix
+
+inline double helper(Config cfg) {
+  double level_db = 3.0;
+  double span_m[2] = {0.0, 1.0};
+  return level_db + span_m[0] + cfg.range_m;
+}
+
+}  // namespace fixture

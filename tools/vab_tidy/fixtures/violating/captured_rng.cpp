@@ -1,4 +1,4 @@
-// expect: rng-child-discipline:2
+// expect: rng-parallel-capture:2
 #include <cstddef>
 #include <vector>
 

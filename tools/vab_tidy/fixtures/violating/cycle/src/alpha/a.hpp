@@ -1,0 +1,4 @@
+// expect: layering:1  (unknown module; the cycle needs both files, see
+// the LayeringModel.test_cycle_detected whole-tree run)
+#pragma once
+#include "beta/b.hpp"

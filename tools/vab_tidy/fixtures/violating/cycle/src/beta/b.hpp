@@ -1,0 +1,3 @@
+// expect: layering:1  (unknown module)
+#pragma once
+#include "alpha/a.hpp"

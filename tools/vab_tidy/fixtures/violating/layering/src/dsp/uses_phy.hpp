@@ -1,0 +1,4 @@
+// expect: layering:1
+// dsp (rank 1) reaching up into phy (rank 2): a downward include.
+#pragma once
+#include "phy/modem.hpp"

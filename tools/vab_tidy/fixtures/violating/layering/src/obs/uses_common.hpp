@@ -1,0 +1,4 @@
+// expect: layering:1
+// obs is an include-anywhere sink; it may not depend on any layer.
+#pragma once
+#include "common/types.hpp"

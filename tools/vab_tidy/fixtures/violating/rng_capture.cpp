@@ -1,0 +1,22 @@
+// expect: rng-parallel-capture:2
+//
+// Drawing from a captured Rng inside a parallel body makes the draw order
+// depend on scheduling; each worker must derive its own child stream.
+#include <cstddef>
+
+namespace fixture {
+
+void broken_fill(Rng& rng, double* out, std::size_t n) {
+  parallel_for(std::size_t{0}, n, [&](std::size_t i) {
+    out[i] = rng.uniform();  // finding: captured draw
+  });
+}
+
+double broken_sum(Rng& rng, std::size_t n) {
+  return parallel_reduce(
+      std::size_t{0}, n, 0.0,
+      [&](std::size_t) { return rng.gaussian(0.0, 1.0); },  // finding
+      [](double a, double b) { return a + b; });
+}
+
+}  // namespace fixture

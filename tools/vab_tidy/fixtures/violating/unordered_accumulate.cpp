@@ -1,0 +1,22 @@
+// expect: unordered-iter-accumulate:2
+//
+// Hash-order iteration is flagged only when the loop body accumulates or
+// emits: the order would leak into a result.
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+double broken_total(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, w] : weights) total += w;  // finding: reduction
+  return total;
+}
+
+void broken_dump(const std::unordered_map<int, double>& weights,
+                 std::ostream& os) {
+  for (const auto& kv : weights) os << kv.first << "\n";  // finding: output
+}
+
+}  // namespace fixture

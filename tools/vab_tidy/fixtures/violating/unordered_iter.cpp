@@ -1,4 +1,4 @@
-// expect: no-unordered-iter:2
+// expect: unordered-iter-accumulate:2
 #include <cstdint>
 #include <string>
 #include <unordered_map>

@@ -1,4 +1,4 @@
-// expect: no-unordered-iter:1
+// expect: unordered-iter-accumulate:1
 #include <cstddef>
 #include <unordered_map>
 

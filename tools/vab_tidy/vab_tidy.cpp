@@ -1,0 +1,151 @@
+// vab-tidy libTooling twin: AST-grade implementation of the check families
+// that benefit from real semantic analysis. The portable Python engine
+// (vab_tidy.py) is the gating implementation everywhere; this binary builds
+// only where a clang development install exists (tools/vab_tidy/CMakeLists
+// gates on find_package(Clang CONFIG)), and must agree with the Python
+// engine on the fixture set (tools/test_vab_tidy.py pins the diagnostics).
+//
+// Families implemented on the AST:
+//   unit-suffix-double-param  ParmVarDecl of builtin double whose name ends
+//                             in _db/_hz/_m/_s inside a header — an actual
+//                             parameter declaration, so fields, locals,
+//                             macros and string literals can never confuse
+//                             it the way a tokenizer must be careful about.
+//   rng-parallel-capture      A LambdaExpr argument of a parallel_for /
+//                             parallel_reduce call whose body contains a
+//                             CXXMemberCallExpr drawing from a variable
+//                             captured by the lambda (not derived via
+//                             .child(...) inside the body).
+//
+// The layering and unordered-iteration families stay in the Python engine:
+// they are include-graph and dataflow questions where the AST adds little
+// over the resolved compile_commands include table.
+//
+// Usage: vab-tidy-ast -p <build-dir> <source files...>
+
+#include <string>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+#include "llvm/Support/raw_ostream.h"
+
+namespace {
+
+using namespace clang;            // NOLINT(build/namespaces)
+using namespace clang::ast_matchers;  // NOLINT(build/namespaces)
+
+llvm::cl::OptionCategory g_category("vab-tidy options");
+
+int g_findings = 0;
+
+bool has_unit_suffix(llvm::StringRef name) {
+  return name.ends_with("_db") || name.ends_with("_hz") ||
+         name.ends_with("_m") || name.ends_with("_s");
+}
+
+llvm::StringRef unit_for(llvm::StringRef name) {
+  if (name.ends_with("_db")) return "Db/SnrDb";
+  if (name.ends_with("_hz")) return "Hz";
+  if (name.ends_with("_m")) return "Meters";
+  return "Seconds";
+}
+
+void report(const SourceManager& sm, SourceLocation loc,
+            llvm::StringRef check, const std::string& message) {
+  ++g_findings;
+  llvm::outs() << sm.getFilename(loc) << ":"
+               << sm.getSpellingLineNumber(loc) << ": [" << check << "] "
+               << message << "\n";
+}
+
+/// unit-suffix-double-param: raw double parameters with unit-suffixed names
+/// declared in a header of the main file set.
+class UnitParamCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* parm = result.Nodes.getNodeAs<ParmVarDecl>("parm");
+    const SourceManager& sm = *result.SourceManager;
+    const SourceLocation loc = parm->getLocation();
+    if (!sm.isInMainFile(loc)) return;
+    if (!sm.getFilename(loc).ends_with(".hpp")) return;
+    const llvm::StringRef name = parm->getName();
+    if (!has_unit_suffix(name)) return;
+    report(sm, loc, "unit-suffix-double-param",
+           ("parameter '" + name + "' is a raw double carrying a unit "
+            "suffix; take common::" + unit_for(name) +
+            " (see common/units.hpp) so callers cannot pass the wrong "
+            "domain").str());
+  }
+};
+
+/// rng-parallel-capture: member draw calls on lambda-captured Rngs inside
+/// parallel_for / parallel_reduce arguments.
+class RngCaptureCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* lambda = result.Nodes.getNodeAs<LambdaExpr>("lambda");
+    const auto* draw = result.Nodes.getNodeAs<CXXMemberCallExpr>("draw");
+    const auto* object = result.Nodes.getNodeAs<DeclRefExpr>("object");
+    const SourceManager& sm = *result.SourceManager;
+    const auto* var = dyn_cast<VarDecl>(object->getDecl());
+    if (var == nullptr) return;
+    // Drawing from a body-local (derived via .child) or a parameter of the
+    // lambda itself is the sanctioned pattern.
+    const DeclContext* ctx = var->getDeclContext();
+    const CXXMethodDecl* op = lambda->getCallOperator();
+    for (; ctx != nullptr; ctx = ctx->getParent()) {
+      if (ctx == op) return;  // declared inside the lambda
+    }
+    const std::string name = var->getNameAsString();
+    const std::string method =
+        draw->getMethodDecl()->getNameAsString();
+    if (method == "child") return;  // deriving a stream is the fix itself
+    report(sm, draw->getExprLoc(), "rng-parallel-capture",
+           "'" + name + "." + method + "()' draws from a captured Rng "
+           "inside a parallel body; derive a per-index stream with '" +
+           name + ".child(i)' so draw order cannot depend on scheduling");
+  }
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto expected_parser =
+      tooling::CommonOptionsParser::create(argc, argv, g_category);
+  if (!expected_parser) {
+    llvm::errs() << llvm::toString(expected_parser.takeError());
+    return 2;
+  }
+  tooling::ClangTool tool(expected_parser->getCompilations(),
+                          expected_parser->getSourcePathList());
+
+  MatchFinder finder;
+  UnitParamCallback unit_cb;
+  RngCaptureCallback rng_cb;
+
+  finder.addMatcher(
+      parmVarDecl(hasType(asString("double"))).bind("parm"), &unit_cb);
+
+  const auto draw_names = hasAnyName(
+      "uniform", "uniform_int", "gaussian", "complex_gaussian", "coin",
+      "random_bits", "gaussian_vector", "engine");
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("parallel_for",
+                                              "parallel_reduce"))),
+               forEachDescendant(lambdaExpr(forEachDescendant(
+                   cxxMemberCallExpr(
+                       callee(cxxMethodDecl(draw_names)),
+                       on(declRefExpr().bind("object")))
+                       .bind("draw"))).bind("lambda"))),
+      &rng_cb);
+
+  const int status = tool.run(
+      tooling::newFrontendActionFactory(&finder).get());
+  if (status != 0) return status;
+  return g_findings == 0 ? 0 : 1;
+}

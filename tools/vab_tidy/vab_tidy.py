@@ -1,0 +1,605 @@
+#!/usr/bin/env python3
+"""vab-tidy: domain-aware static analysis for the VAB tree.
+
+Four check families, each encoding an invariant the regex linter
+(tools/vab_lint.py) could only approximate:
+
+  unit-suffix-double-param   Public headers must not declare raw `double`
+                             function parameters whose names carry a unit
+                             suffix (*_db, *_hz, *_m, *_s); those boundaries
+                             take the strong types from common/units.hpp.
+                             Grandfathered files live in allowlist.txt with a
+                             rationale and tombstone date.
+  rng-parallel-capture       An Rng captured into a parallel_for /
+                             parallel_reduce body must only be used through
+                             .child(...); direct draws make the draw order
+                             depend on scheduling.
+  unordered-iter-accumulate  Iterating a std::unordered_* container is only
+                             flagged when the loop body accumulates or emits
+                             output (the hash order would leak into results);
+                             pure lookups and counting stay legal.
+  layering                   The module DAG is enforced from the real
+                             `#include` edges: a module may include only
+                             lower-ranked modules (obs is an include-anywhere
+                             sink), and no cycle may appear.
+
+The tool is driven by the build's exported compile_commands.json (configure
+with CMAKE_EXPORT_COMPILE_COMMANDS=ON, which cmake/StaticAnalysis.cmake sets
+unconditionally): translation units listed there are analysed, plus every
+header under the source roots. Without a build directory it falls back to
+walking the tree, so the ctest gate works on a fresh checkout too.
+
+A libTooling twin (vab_tidy.cpp) builds when a clang development install is
+discovered; this Python engine is the portable gate and the twin must agree
+with it on the fixture set.
+
+Point exceptions use the same annotation idiom as vab_lint:
+
+    code();  // vab-tidy: allow(rule-id) reason
+
+Exit status: 0 when clean, 1 on findings, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+CXX_EXTENSIONS = (".hpp", ".cpp")
+
+CHECKS = [
+    "unit-suffix-double-param",
+    "rng-parallel-capture",
+    "unordered-iter-accumulate",
+    "layering",
+]
+
+#: Module ranks for the layering DAG. An `#include "mod/..."` edge from
+#: module A to module B is legal iff A == B, B is a sink, or
+#: rank(A) > rank(B). Ranks mirror DESIGN.md's layer diagram.
+MODULE_RANKS = {
+    "common": 0,
+    "dsp": 1,
+    "fault": 1,
+    "piezo": 1,
+    "vanatta": 1,
+    "channel": 2,
+    "phy": 2,
+    "net": 3,
+    "sim": 4,
+    "core": 5,
+}
+
+#: Modules any layer (including common) may include, and which may include
+#: nothing outside themselves: pure observability sinks.
+SINK_MODULES = {"obs"}
+
+UNIT_SUFFIX_RE = re.compile(r"_(?:db|hz|m|s)$")
+
+DRAW_METHODS = (
+    "uniform", "uniform_int", "gaussian", "complex_gaussian", "coin",
+    "random_bits", "gaussian_vector", "engine",
+)
+
+ACCUMULATE_RE = re.compile(
+    r"(?:\+=|\|=|\^=|<<|\bpush_back\s*\(|\bemplace_back\s*\(|"
+    r"\bappend\s*\(|\binsert\s*\(|\bemplace\s*\()")
+
+ALLOW_RE = re.compile(r"//\s*vab-tidy:\s*allow\(([a-z-]+)\)")
+SKIP_FILE_RE = re.compile(r"//\s*vab-tidy:\s*skip-file")
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    check: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+def blank_comments_and_strings(text: str) -> str:
+    """Replaces comment and string contents with spaces, preserving line
+    structure, so token scans never fire inside prose. Annotation comments
+    are consumed separately from the raw text before blanking."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif ch == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif ch == '"':
+                state = "str"
+                out.append('"')
+                i += 1
+            elif ch == "'":
+                state = "chr"
+                out.append("'")
+                i += 1
+            else:
+                out.append(ch)
+                i += 1
+        elif state == "line":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if ch == "\n" else " ")
+                i += 1
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+            elif ch == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if ch == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+@dataclass
+class SourceFile:
+    path: str
+    text: str
+    code: str = field(init=False)
+    skip: bool = field(init=False)
+    allowed: dict[int, set[str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.skip = bool(SKIP_FILE_RE.search(self.text))
+        self.code = blank_comments_and_strings(self.text)
+        self.allowed = {}
+        for lineno, raw in enumerate(self.text.splitlines(), start=1):
+            for m in ALLOW_RE.finditer(raw):
+                # An allow on its own line covers the next line as well.
+                self.allowed.setdefault(lineno, set()).add(m.group(1))
+                if raw.lstrip().startswith("//"):
+                    self.allowed.setdefault(lineno + 1, set()).add(m.group(1))
+
+    def is_header(self) -> bool:
+        return self.path.endswith(".hpp")
+
+    def is_allowed(self, line: int, check: str) -> bool:
+        return check in self.allowed.get(line, set())
+
+    def line_of(self, offset: int) -> int:
+        return self.code.count("\n", 0, offset) + 1
+
+
+def load_source(path: str) -> SourceFile:
+    with open(path, encoding="utf-8") as fh:
+        return SourceFile(path, fh.read())
+
+
+def extract_balanced(text: str, open_idx: int, open_ch: str,
+                     close_ch: str) -> int:
+    """Index of the closer matching the opener at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+# --- check: unit-suffix-double-param ----------------------------------------
+
+DOUBLE_PARAM_RE = re.compile(r"\bdouble\s+(\w+)")
+
+
+def check_unit_suffix_params(src: SourceFile,
+                             grandfathered: bool) -> list[Finding]:
+    """Flags `double name_db/_hz/_m/_s` in *parameter* position in headers.
+
+    A declaration terminated by `;` or `}` before any `,`/`)` at its own
+    nesting level is a field or local (raw storage stays legal: structs of
+    plain numbers are the serialization/config layer); one terminated by
+    `,` or `)` sits in a parameter list and must take a strong unit type.
+    """
+    if not src.is_header() or grandfathered:
+        return []
+    found = []
+    for m in DOUBLE_PARAM_RE.finditer(src.code):
+        name = m.group(1)
+        if not UNIT_SUFFIX_RE.search(name):
+            continue
+        i, n = m.end(), len(src.code)
+        depth = 0
+        terminator = ""
+        while i < n:
+            ch = src.code[i]
+            if ch in "([{<":
+                depth += 1
+            elif ch in ")]}>":
+                if depth == 0:
+                    terminator = ch
+                    break
+                depth -= 1
+            elif depth == 0 and ch in ";,":
+                terminator = ch
+                break
+            i += 1
+        if terminator not in (",", ")"):
+            continue  # field, local, or array declaration
+        line = src.line_of(m.start())
+        if src.is_allowed(line, "unit-suffix-double-param"):
+            continue
+        unit = {"db": "Db/SnrDb", "hz": "Hz", "m": "Meters",
+                "s": "Seconds"}[UNIT_SUFFIX_RE.search(name).group(0)[1:]]
+        found.append(Finding(
+            src.path, line, "unit-suffix-double-param",
+            f"parameter '{name}' is a raw double carrying a unit suffix; "
+            f"take common::{unit} (see common/units.hpp) so callers cannot "
+            "pass the wrong domain"))
+    return found
+
+
+# --- check: rng-parallel-capture --------------------------------------------
+
+PARALLEL_CALL_RE = re.compile(r"\bparallel_(?:for|reduce)\s*(?:<[^;{}]*?>)?\s*\(")
+LAMBDA_RE = re.compile(r"\[([^\]\n]*)\]\s*\(([^)]*)\)")
+DRAW_RE = re.compile(
+    r"\b(\w+)\s*(?:\.|->)\s*(" + "|".join(DRAW_METHODS) + r")\s*\(")
+CHILD_LOCAL_RE = re.compile(
+    r"\b(?:auto|Rng|common::Rng)\s*&?\s+(\w+)\s*=\s*[\w.\->:]+\.child\s*\(")
+
+
+def check_rng_parallel_capture(src: SourceFile) -> list[Finding]:
+    """Flags draws from a captured Rng inside parallel_for/parallel_reduce
+    lambda bodies. Legal uses: `rng.child(i)` itself (deriving the per-index
+    stream), draws from a lambda parameter, and draws from an Rng declared
+    inside the body via `.child(...)`."""
+    found = []
+    for call in PARALLEL_CALL_RE.finditer(src.code):
+        open_paren = src.code.index("(", call.end() - 1)
+        close_paren = extract_balanced(src.code, open_paren, "(", ")")
+        if close_paren < 0:
+            continue
+        args = src.code[open_paren:close_paren + 1]
+        for lam in LAMBDA_RE.finditer(args):
+            captures = lam.group(1)
+            params = {p.split()[-1].lstrip("&*")
+                      for p in lam.group(2).split(",") if p.strip()}
+            body_open = args.find("{", lam.end())
+            if body_open < 0:
+                continue
+            body_close = extract_balanced(args, body_open, "{", "}")
+            if body_close < 0:
+                continue
+            body = args[body_open:body_close + 1]
+            by_ref_default = captures.strip() in ("&", "=") or \
+                captures.strip().startswith(("&,", "&,")) or \
+                captures.strip() == "&"
+            explicit = {c.strip().lstrip("&*")
+                        for c in captures.split(",") if c.strip()}
+            local = set(CHILD_LOCAL_RE.findall(body)) | params
+            for draw in DRAW_RE.finditer(body):
+                name, method = draw.group(1), draw.group(2)
+                if name in local:
+                    continue
+                captured = by_ref_default or "&" in captures or \
+                    name in explicit or "=" in captures
+                if not captured:
+                    continue
+                # The sanctioned derivation is itself a method call.
+                if body[draw.end() - 1] == "(" and method == "child":
+                    continue
+                line = src.line_of(open_paren + body_open + draw.start())
+                if src.is_allowed(line, "rng-parallel-capture"):
+                    continue
+                found.append(Finding(
+                    src.path, line, "rng-parallel-capture",
+                    f"'{name}.{method}()' draws from a captured Rng inside a "
+                    "parallel body; derive a per-index stream with "
+                    f"'{name}.child(i)' so draw order cannot depend on "
+                    "scheduling"))
+    return found
+
+
+# --- check: unordered-iter-accumulate ---------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s*&?\s*(\w+)")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,&*\s\[\]]+?:\s*(\w+)\s*\)")
+ITER_LOOP_RE = re.compile(r"=\s*(\w+)\s*\.\s*(?:begin|cbegin)\s*\(")
+
+
+def check_unordered_iter(src: SourceFile) -> list[Finding]:
+    """Flags iteration over std::unordered_* containers whose loop body
+    accumulates or emits (the hash order reaches a result); bodies that only
+    count or look up stay legal."""
+    unordered_names = set(UNORDERED_DECL_RE.findall(src.code))
+    if not unordered_names:
+        return []
+    found = []
+    for pattern in (RANGE_FOR_RE, ITER_LOOP_RE):
+        for m in pattern.finditer(src.code):
+            name = m.group(1)
+            if name not in unordered_names:
+                continue
+            scan = m.end()
+            if pattern is ITER_LOOP_RE:
+                # `it = c.begin()` sits inside a for/while header; the body
+                # starts after the header's closing paren, not after the
+                # init clause's `;`.
+                header = None
+                for f in re.finditer(r"\b(?:for|while)\s*\(",
+                                     src.code[:m.start()]):
+                    header = f
+                if header is None:
+                    continue
+                header_close = extract_balanced(src.code, header.end() - 1,
+                                                "(", ")")
+                if header_close < m.start():
+                    continue
+                scan = header_close + 1
+            body_open = src.code.find("{", scan)
+            stmt_end = src.code.find(";", scan)
+            if body_open < 0 or (0 <= stmt_end < body_open):
+                body = src.code[scan:stmt_end + 1 if stmt_end >= 0
+                                else len(src.code)]
+            else:
+                body_close = extract_balanced(src.code, body_open, "{", "}")
+                if body_close < 0:
+                    continue
+                body = src.code[body_open:body_close + 1]
+            if not ACCUMULATE_RE.search(body):
+                continue
+            line = src.line_of(m.start())
+            if src.is_allowed(line, "unordered-iter-accumulate"):
+                continue
+            found.append(Finding(
+                src.path, line, "unordered-iter-accumulate",
+                f"iteration over unordered container '{name}' feeds an "
+                "accumulation or output in hash order; sort the keys (or "
+                "the results) before they reach any reduction or stream"))
+    return found
+
+
+# --- check: layering --------------------------------------------------------
+
+def module_of(rel_path: str) -> str | None:
+    parts = rel_path.replace("\\", "/").split("/")
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    if len(parts) >= 2:
+        # Quoted include paths are rooted at src/ (e.g. "phy/modem.hpp"),
+        # so the first segment names the module; unknown names surface as
+        # findings rather than silently passing.
+        return parts[0]
+    return None
+
+
+def check_layering(files: list[SourceFile], repo_root: str) -> list[Finding]:
+    """Validates every cross-module include edge against MODULE_RANKS and
+    rejects module-level cycles (a cycle can exist even when each individual
+    edge would pass a weaker same-rank rule)."""
+    found = []
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    for src in files:
+        rel = os.path.relpath(src.path, repo_root)
+        mod = module_of(rel)
+        if mod is None:
+            continue
+        # Includes are scanned in the raw text: comment/string blanking
+        # (correct for the token checks) erases the include target.
+        for m in INCLUDE_RE.finditer(src.text):
+            target = module_of(m.group(1))
+            if target is None or target == mod:
+                continue
+            line = src.text.count("\n", 0, m.start()) + 1
+            edges.setdefault((mod, target), (src.path, line))
+            if target in SINK_MODULES:
+                continue
+            if mod in SINK_MODULES:
+                if src.is_allowed(line, "layering"):
+                    continue
+                found.append(Finding(
+                    src.path, line, "layering",
+                    f"sink module '{mod}' must not include '{target}': obs "
+                    "is observable from every layer precisely because it "
+                    "depends on none of them"))
+                continue
+            if mod not in MODULE_RANKS or target not in MODULE_RANKS:
+                found.append(Finding(
+                    src.path, line, "layering",
+                    f"unknown module in edge '{mod}' -> '{target}'; add it "
+                    "to MODULE_RANKS in tools/vab_tidy/vab_tidy.py"))
+                continue
+            if MODULE_RANKS[mod] <= MODULE_RANKS[target]:
+                if src.is_allowed(line, "layering"):
+                    continue
+                found.append(Finding(
+                    src.path, line, "layering",
+                    f"downward include: '{mod}' (rank {MODULE_RANKS[mod]}) "
+                    f"may not include '{target}' (rank "
+                    f"{MODULE_RANKS[target]}); dependencies must point "
+                    "strictly down the layer diagram"))
+    # Cycle detection over the observed module graph.
+    graph: dict[str, set[str]] = {}
+    for (a, b), _ in edges.items():
+        graph.setdefault(a, set()).add(b)
+    state: dict[str, int] = {}
+    stack: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        state[node] = 1
+        stack.append(node)
+        for nxt in sorted(graph.get(node, ())):
+            if state.get(nxt, 0) == 1:
+                return stack[stack.index(nxt):] + [nxt]
+            if state.get(nxt, 0) == 0:
+                cycle = visit(nxt)
+                if cycle:
+                    return cycle
+        stack.pop()
+        state[node] = 2
+        return None
+
+    for node in sorted(graph):
+        if state.get(node, 0) == 0:
+            cycle = visit(node)
+            if cycle:
+                a, b = cycle[0], cycle[1]
+                path, line = edges[(a, b)]
+                found.append(Finding(
+                    path, line, "layering",
+                    "module cycle detected: " + " -> ".join(cycle)))
+                break
+    return found
+
+
+# --- driver -----------------------------------------------------------------
+
+def load_allowlist(path: str, repo_root: str) -> dict[str, str]:
+    """allowlist.txt: `<relative-header-path> :: <reason>` per line. The
+    listed headers are exempt from unit-suffix-double-param only."""
+    grandfathered: dict[str, str] = {}
+    if not os.path.exists(path):
+        return grandfathered
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw or raw.startswith("#"):
+                continue
+            rel, _, reason = raw.partition("::")
+            grandfathered[os.path.normpath(
+                os.path.join(repo_root, rel.strip()))] = reason.strip()
+    return grandfathered
+
+
+def collect_from_compile_commands(build_dir: str) -> list[str] | None:
+    db = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db):
+        return None
+    with open(db, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    files = []
+    for entry in entries:
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.normpath(os.path.join(entry["directory"], path))
+        files.append(path)
+    return sorted(set(files))
+
+
+def collect_sources(roots: list[str]) -> list[str]:
+    out = []
+    for root in roots:
+        if os.path.isfile(root):
+            out.append(root)
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith(CXX_EXTENSIONS):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(set(out))
+
+
+def run(paths: list[str], repo_root: str, build_dir: str | None,
+        checks: list[str], allowlist_path: str) -> list[Finding]:
+    grandfathered = load_allowlist(allowlist_path, repo_root)
+    files = collect_sources(paths)
+    if build_dir:
+        tus = collect_from_compile_commands(build_dir)
+        if tus:
+            in_roots = {os.path.normpath(f) for f in files}
+            files = sorted(in_roots |
+                           {t for t in tus
+                            if os.path.normpath(t) in in_roots})
+    sources = []
+    for path in files:
+        src = load_source(path)
+        if not src.skip:
+            sources.append(src)
+    findings: list[Finding] = []
+    for src in sources:
+        norm = os.path.normpath(src.path)
+        if "unit-suffix-double-param" in checks:
+            findings.extend(
+                check_unit_suffix_params(src, norm in grandfathered))
+        if "rng-parallel-capture" in checks:
+            findings.extend(check_rng_parallel_capture(src))
+        if "unordered-iter-accumulate" in checks:
+            findings.extend(check_unordered_iter(src))
+    if "layering" in checks:
+        findings.extend(check_layering(sources, repo_root))
+    findings.sort(key=lambda f: (f.path, f.line, f.check))
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyse (default: src/)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir with compile_commands.json")
+    parser.add_argument("--repo-root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--check", action="append", dest="checks",
+                        choices=CHECKS, default=None,
+                        help="run only the named check (repeatable)")
+    parser.add_argument("--allowlist", default=None,
+                        help="override the unit-suffix allowlist file")
+    parser.add_argument("--list-checks", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_checks:
+        for check in CHECKS:
+            print(check)
+        return 0
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = args.repo_root or os.path.dirname(os.path.dirname(here))
+    paths = args.paths or [os.path.join(repo_root, "src")]
+    build_dir = args.build_dir
+    if build_dir is None:
+        default_build = os.path.join(repo_root, "build")
+        build_dir = default_build if os.path.isdir(default_build) else None
+    allowlist = args.allowlist or os.path.join(here, "allowlist.txt")
+
+    findings = run(paths, repo_root, build_dir, args.checks or CHECKS,
+                   allowlist)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"vab-tidy: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
